@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: scalable (directory, parallel-commit) TCC vs. the original
+ * small-scale (bus, serialized-commit) TCC - the comparison motivating
+ * the paper (Section 2.2: "the sum of all commit times places a lower
+ * bound on execution time" for the bus design).
+ *
+ * Expected shape: the bus design is competitive at low processor
+ * counts (where the paper says TCC "works well within a CMP") but
+ * flattens as commit serialization saturates the bus, while Scalable
+ * TCC keeps scaling. The effect is strongest for commit-bound
+ * applications (volrend, equake).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "busbaseline/bus_tcc.hh"
+
+namespace {
+
+using namespace tccbench;
+
+/** Run the bus baseline on the same workload and report cycles. */
+Tick
+runBus(const AppProfile &profile, std::uint32_t procs,
+       std::uint64_t seed)
+{
+    BusConfig cfg;
+    cfg.numProcs = procs;
+    BusTcc bus(cfg);
+    std::vector<std::unique_ptr<SyntheticSource>> sources;
+    for (NodeId p = 0; p < procs; ++p) {
+        sources.push_back(std::make_unique<SyntheticSource>(
+            profile, seed, p, procs));
+        bus.setSource(p, sources.back().get());
+    }
+    auto res = bus.run();
+    return res.completed ? res.cycles : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tccbench;
+
+    std::puts("=== Ablation: parallel commit (Scalable TCC) vs "
+              "serialized commit (bus TCC) ===");
+    std::printf("%-16s %5s %14s %14s %12s\n", "application", "cpus",
+                "bus_speedup", "scal_speedup", "scal/bus");
+
+    for (const char *name : {"volrend", "equake", "barnes", "specjbb"}) {
+        const auto &app = appProfile(name);
+
+        const Tick bus1 = runBus(app, 1, 1);
+        RunOptions uni;
+        uni.procs = 1;
+        const auto scal1 = runApp(app, uni);
+
+        for (std::uint32_t p : {4u, 8u, 16u, 32u, 64u}) {
+            const Tick busp = runBus(app, p, 1);
+            RunOptions opt;
+            opt.procs = p;
+            const auto scalp = runApp(app, opt);
+            if (busp == 0 || !scalp.completed) {
+                std::printf("%-16s %5u DID NOT COMPLETE\n", name, p);
+                continue;
+            }
+            const double bus_speedup =
+                static_cast<double>(bus1) / static_cast<double>(busp);
+            const double scal_speedup =
+                static_cast<double>(scal1.cycles) /
+                static_cast<double>(scalp.cycles);
+            std::printf("%-16s %5u %13.1fx %13.1fx %11.2fx\n", name, p,
+                        bus_speedup, scal_speedup,
+                        scal_speedup / bus_speedup);
+        }
+    }
+    return 0;
+}

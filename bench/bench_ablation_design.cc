@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, at 32 CPUs:
+ *
+ *  1. Conflict-detection granularity: per-word SR/SM bits vs per-line
+ *     bits (Section 3.1 - word-level tracking avoids false sharing
+ *     violations at the cost of wider tags).
+ *  2. TID aging (starvation mitigation, Section 3.3): on vs off under
+ *     a high-conflict workload.
+ *  3. Home mapping: first-touch placement (paper's policy) vs page
+ *     interleaving - locality is what makes parallel commit cheap.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+    constexpr std::uint32_t kProcs = 32;
+
+    std::puts("=== Ablation 1: word vs line conflict granularity "
+              "(32 CPUs) ===");
+    std::printf("%-16s %14s %14s %12s %12s\n", "application",
+                "word_cycles", "line_cycles", "word_viol",
+                "line_viol");
+    for (const char *name :
+         {"cluster_ga", "water_nsquared", "volrend", "barnes"}) {
+        const auto &app = appProfile(name);
+        RunOptions w;
+        w.procs = kProcs;
+        w.granularity = Granularity::Word;
+        auto word = runApp(app, w);
+        RunOptions l = w;
+        l.granularity = Granularity::Line;
+        auto line = runApp(app, l);
+        std::printf("%-16s %14llu %14llu %12llu %12llu\n", name,
+                    (unsigned long long)word.cycles,
+                    (unsigned long long)line.cycles,
+                    (unsigned long long)word.violations,
+                    (unsigned long long)line.violations);
+    }
+
+    std::puts("\n=== Ablation 2: TID aging under high conflict "
+              "(32 CPUs) ===");
+    std::printf("%-16s %14s %14s %12s %12s\n", "config", "cycles",
+                "violations", "committed", "completed");
+    {
+        AppProfile hot = appProfile("cluster_ga");
+        hot.conflictProb = 0.6;
+        hot.hotWords = 8;
+        hot.txnsPerPhase = 256;
+        hot.phases = 2;
+        for (std::uint32_t aging : {3u, 0u}) {
+            RunOptions opt;
+            opt.procs = kProcs;
+            opt.agingThreshold = aging;
+            auto out = runApp(hot, opt);
+            std::printf("aging=%-10u %14llu %14llu %12llu %12s\n",
+                        aging, (unsigned long long)out.cycles,
+                        (unsigned long long)out.violations,
+                        (unsigned long long)out.committedTxns,
+                        out.completed ? "yes" : "NO");
+        }
+    }
+
+    std::puts("\n=== Ablation 3: write-back vs write-through commit "
+              "(32 CPUs) ===");
+    std::printf("%-16s %14s %14s %16s %16s\n", "application",
+                "wb_cycles", "wt_cycles", "wb_bytes/instr",
+                "wt_bytes/instr");
+    for (const char *name : {"swim", "radix", "barnes", "tomcatv"}) {
+        const auto &app = appProfile(name);
+        RunOptions wb;
+        wb.procs = kProcs;
+        auto a = runApp(app, wb);
+        RunOptions wt = wb;
+        wt.writeThroughCommit = true;
+        auto b = runApp(app, wt);
+        std::printf("%-16s %14llu %14llu %16.4f %16.4f\n", name,
+                    (unsigned long long)a.cycles,
+                    (unsigned long long)b.cycles, a.traffic.total(),
+                    b.traffic.total());
+    }
+
+    std::puts("\n=== Ablation 4: directory cache size (32 CPUs) ===");
+    std::printf("%-16s %12s %14s %14s\n", "application", "entries",
+                "cycles", "dcache_misses");
+    for (const char *name : {"barnes", "swim"}) {
+        const auto &app = appProfile(name);
+        for (std::uint32_t entries : {0u, 8192u, 512u, 64u}) {
+            RunOptions opt;
+            opt.procs = kProcs;
+            opt.dirCacheEntries = entries;
+            auto out = runApp(app, opt);
+            std::printf("%-16s %12u %14llu %14llu%s\n", name,
+                        entries, (unsigned long long)out.cycles,
+                        (unsigned long long)out.dirCacheMisses,
+                        out.completed ? "" : " INCOMPLETE");
+        }
+    }
+
+    std::puts("\n=== Ablation 5: first-touch vs interleaved homes "
+              "(32 CPUs) ===");
+    std::printf("%-16s %16s %16s %10s\n", "application", "firsttouch",
+                "interleave", "slowdown");
+    for (const char *name : {"swim", "specjbb", "barnes", "equake"}) {
+        const auto &app = appProfile(name);
+        RunOptions ft;
+        ft.procs = kProcs;
+        ft.homePolicy = HomePolicy::FirstTouch;
+        auto a = runApp(app, ft);
+        RunOptions il = ft;
+        il.homePolicy = HomePolicy::Interleave;
+        auto b = runApp(app, il);
+        std::printf("%-16s %16llu %16llu %9.2fx\n", name,
+                    (unsigned long long)a.cycles,
+                    (unsigned long long)b.cycles,
+                    static_cast<double>(b.cycles) /
+                        static_cast<double>(a.cycles));
+    }
+    return 0;
+}

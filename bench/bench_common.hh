@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared driver for the benchmark harness. Each bench binary
+ * regenerates one table or figure of the paper (see DESIGN.md's
+ * per-experiment index); this header provides the run-one-configuration
+ * plumbing they share.
+ */
+
+#ifndef TCC_BENCH_COMMON_HH
+#define TCC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/synthetic_app.hh"
+
+namespace tccbench {
+
+using namespace tcc;
+
+/** Everything a figure needs from one finished run. */
+struct RunOutcome {
+    std::string app;
+    std::uint32_t procs = 0;
+    Tick cycles = 0;
+    bool completed = false;
+    Breakdown breakdown;
+    AppCharacterization characterization;
+    TrafficRow traffic;
+    std::uint64_t committedTxns = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t dirCacheMisses = 0;
+};
+
+/** Tweaks applied on top of the default Table 2 configuration. */
+struct RunOptions {
+    std::uint32_t procs = 8;
+    std::uint64_t seed = 1;
+    Tick hopLatency = 3;
+    Granularity granularity = Granularity::Word;
+    HomePolicy homePolicy = HomePolicy::FirstTouch;
+    std::uint32_t agingThreshold = 3;
+    bool idealNetwork = false;
+    /** Directory cache entries (0 = perfectly sized). */
+    std::uint32_t dirCacheEntries = 0;
+    /** Write-through commit ablation. */
+    bool writeThroughCommit = false;
+};
+
+/** Run @p profile once under @p opt and collect the outcome. */
+inline RunOutcome
+runApp(const AppProfile &profile, const RunOptions &opt)
+{
+    SystemConfig cfg;
+    cfg.numProcs = opt.procs;
+    cfg.mesh.hopLatency = opt.hopLatency;
+    cfg.cache.granularity = opt.granularity;
+    cfg.homePolicy = opt.homePolicy;
+    cfg.processor.agingThreshold = opt.agingThreshold;
+    cfg.idealNetwork = opt.idealNetwork;
+    cfg.directory.dirCacheEntries = opt.dirCacheEntries;
+    cfg.writeThroughCommit = opt.writeThroughCommit;
+
+    System sys(cfg);
+    auto sources = setupApp(sys, profile, opt.seed);
+    auto res = sys.run();
+
+    RunOutcome out;
+    out.app = profile.name;
+    out.procs = opt.procs;
+    out.cycles = res.cycles;
+    out.completed = res.completed;
+    out.breakdown = sys.breakdown();
+    out.characterization = characterize(sys, profile.name);
+    out.traffic = trafficPerInstr(sys, profile.name);
+    for (NodeId p = 0; p < sys.numProcs(); ++p) {
+        out.committedTxns += sys.proc(p).stats().txnsCommitted;
+        out.violations += sys.proc(p).stats().violations;
+        out.dirCacheMisses += sys.directory(p).stats().dirCacheMisses;
+    }
+    out.committedInstructions = sys.committedInstructions();
+    return out;
+}
+
+/** The paper's application ordering for every figure. */
+inline const std::vector<AppProfile> &
+benchApps()
+{
+    return appProfiles();
+}
+
+} // namespace tccbench
+
+#endif // TCC_BENCH_COMMON_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Figure 6: normalized execution-time breakdown of every
+ * application on a single processor. The paper's point: with one
+ * processor, TCC overhead (commit) is insignificant (~1-2%), so a TCC
+ * uniprocessor is equivalent to a conventional one.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+
+    std::puts("=== Figure 6: single-processor execution time "
+              "breakdown ===");
+    std::puts(breakdownHeader().c_str());
+
+    double worst_commit = 0;
+    for (const auto &app : benchApps()) {
+        RunOptions opt;
+        opt.procs = 1;
+        auto out = runApp(app, opt);
+        std::puts(breakdownRow(out.app, out.breakdown).c_str());
+        worst_commit = std::max(
+            worst_commit,
+            out.breakdown.fraction(out.breakdown.commit));
+    }
+    std::printf("\nmax commit overhead on 1 CPU: %.1f%% (paper: ~1%% "
+                "on average)\n",
+                100.0 * worst_commit);
+    return 0;
+}

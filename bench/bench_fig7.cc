@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 7: scaling of every application from 8 to 64
+ * processors. For each (app, p) the harness prints the execution-time
+ * breakdown normalized to the single-processor run of the same app,
+ * with the speedup on top of each bar exactly as the paper annotates.
+ *
+ * Shape targets (the paper's testbed constants differ from ours):
+ * near-linear scaling for SPECjbb / SVM Classify / swim / tomcatv /
+ * barnes / radix; commit-limited volrend / equake; violation-limited
+ * Cluster GA at low processor counts.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+
+    std::puts("=== Figure 7: execution time vs processor count "
+              "(normalized to 1 CPU) ===");
+    std::printf("%-16s %5s %9s %9s | %7s %7s %7s %7s %9s  (%% of 1-CPU "
+                "time)\n",
+                "application", "cpus", "speedup", "norm_time", "useful",
+                "miss", "idle", "commit", "violation");
+
+    for (const auto &app : benchApps()) {
+        RunOptions base;
+        base.procs = 1;
+        auto uni = runApp(app, base);
+        if (!uni.completed) {
+            std::printf("%-16s 1-CPU run DID NOT COMPLETE\n",
+                        app.name.c_str());
+            continue;
+        }
+        const double t1 = static_cast<double>(uni.cycles);
+
+        for (std::uint32_t p : {8u, 16u, 32u, 64u}) {
+            RunOptions opt;
+            opt.procs = p;
+            auto out = runApp(app, opt);
+            if (!out.completed) {
+                std::printf("%-16s %5u DID NOT COMPLETE\n",
+                            app.name.c_str(), p);
+                continue;
+            }
+            const double tp = static_cast<double>(out.cycles);
+            const double speedup = t1 / tp;
+            // Per-bucket fractions of total busy time, scaled to the
+            // normalized bar height (tp/t1 * 100%).
+            const double height = 100.0 * tp / t1;
+            const auto &bd = out.breakdown;
+            std::printf("%-16s %5u %8.1fx %8.1f%% | %6.1f%% %6.1f%% "
+                        "%6.1f%% %6.1f%% %8.1f%%\n",
+                        app.name.c_str(), p, speedup, height,
+                        height * bd.fraction(bd.useful),
+                        height * bd.fraction(bd.miss),
+                        height * bd.fraction(bd.idle),
+                        height * bd.fraction(bd.commit),
+                        height * bd.fraction(bd.violation));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 8: the impact of interconnect communication
+ * latency at 32 processors. The x-axis sweeps cycles-per-hop over
+ * {2, 4, 8}; bars are normalized to each application's run at the
+ * lowest latency. The paper's finding: applications with significant
+ * remote misses (equake) or commit time (volrend) degrade by up to
+ * ~50% at 8 cycles/hop, while low-communication applications
+ * (SPECjbb, swim) are nearly flat.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+    constexpr std::uint32_t kProcs = 32;
+
+    std::puts("=== Figure 8: communication latency sensitivity "
+              "(32 processors) ===");
+    std::printf("%-16s %10s %11s | %7s %7s %7s %7s %9s\n", "application",
+                "cyc/hop", "norm_time", "useful", "miss", "idle",
+                "commit", "violation");
+
+    for (const auto &app : benchApps()) {
+        double t_base = 0;
+        for (Tick hop : {2u, 4u, 8u}) {
+            RunOptions opt;
+            opt.procs = kProcs;
+            opt.hopLatency = hop;
+            auto out = runApp(app, opt);
+            if (!out.completed) {
+                std::printf("%-16s %10llu DID NOT COMPLETE\n",
+                            app.name.c_str(),
+                            (unsigned long long)hop);
+                continue;
+            }
+            if (hop == 2)
+                t_base = static_cast<double>(out.cycles);
+            const double height =
+                100.0 * static_cast<double>(out.cycles) / t_base;
+            const auto &bd = out.breakdown;
+            std::printf("%-16s %10llu %10.1f%% | %6.1f%% %6.1f%% "
+                        "%6.1f%% %6.1f%% %8.1f%%\n",
+                        app.name.c_str(), (unsigned long long)hop,
+                        height, height * bd.fraction(bd.useful),
+                        height * bd.fraction(bd.miss),
+                        height * bd.fraction(bd.idle),
+                        height * bd.fraction(bd.commit),
+                        height * bd.fraction(bd.violation));
+        }
+    }
+    return 0;
+}

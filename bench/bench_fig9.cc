@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Figure 9: remote traffic bandwidth at 64 processors, in
+ * bytes per committed instruction, broken into overhead (protocol
+ * control), miss (load requests + data), write-back, and shared
+ * (cache-to-cache) components. The paper reports 0.01-0.6
+ * bytes/instruction total, i.e., well within commodity cluster
+ * interconnect bandwidth at 2 GHz.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+
+    std::puts("=== Figure 9: remote traffic (bytes/instr, "
+              "64 processors) ===");
+    std::puts(trafficHeader().c_str());
+
+    for (const auto &app : benchApps()) {
+        RunOptions opt;
+        opt.procs = 64;
+        auto out = runApp(app, opt);
+        if (!out.completed) {
+            std::printf("%-16s DID NOT COMPLETE\n", app.name.c_str());
+            continue;
+        }
+        std::puts(trafficRowText(out.traffic).c_str());
+        // The paper also quotes the implied MB/s at 2 GHz per node.
+        const double mbps = out.traffic.total() * 2e9 / 64.0 / 1e6;
+        std::printf("%-16s   -> %.1f MB/s per node at 2 GHz\n",
+                    app.name.c_str(), mbps);
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Table 3: the TM characteristics of every application at
+ * 64 processors - 90th-percentile transaction size (instructions),
+ * write-/read-set sizes (KB), operations per word written, directories
+ * touched per commit, directory working set (entries with remote
+ * sharers), and directory occupancy (busy cycles per commit).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tccbench;
+
+    std::puts("=== Table 3: application TM characteristics "
+              "(64 processors) ===");
+    std::puts(table3Header().c_str());
+
+    for (const auto &app : benchApps()) {
+        RunOptions opt;
+        opt.procs = 64;
+        auto out = runApp(app, opt);
+        if (!out.completed) {
+            std::printf("%-16s DID NOT COMPLETE\n", app.name.c_str());
+            continue;
+        }
+        std::puts(table3Row(out.characterization).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Protocol walk-through example: re-creates the paper's Figure 2
+ * scenario (two processors, one successful commit, one violation) with
+ * full protocol tracing enabled so every message and state change is
+ * visible. Useful for understanding - or teaching - the two-phase
+ * parallel commit.
+ *
+ * Run:  ./build/examples/protocol_trace 2> trace.log
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "core/system.hh"
+#include "workload/scripted_source.hh"
+
+using namespace tcc;
+
+int
+main()
+{
+    // Print every protocol event to stderr.
+    Trace::enableAll(true);
+
+    SystemConfig cfg;
+    cfg.numProcs = 2;
+    cfg.enableChecker = true;
+    cfg.homePolicy = HomePolicy::Interleave; // deterministic homes
+    System sys(cfg);
+
+    // Address X is homed at directory 0 (page 0 of the region).
+    const Addr x = 0x100000;
+
+    // P0: writes X and commits first (lower TID).
+    ScriptedSource p0;
+    p0.add({TxOp::compute(100), TxOp::store(x, 42)});
+
+    // P1: reads X early, computes for a long time - long enough for
+    // P0's commit to invalidate it - then uses the value. It violates,
+    // re-executes, and commits with P0's value.
+    ScriptedSource p1;
+    p1.add({TxOp::load(x), TxOp::compute(4000),
+            TxOp::storeAdd(x + 4096, 0)});
+
+    sys.setSource(0, &p0);
+    sys.setSource(1, &p1);
+
+    std::puts("running the Figure 2 scenario "
+              "(see stderr for the message trace)...");
+    auto res = sys.run();
+
+    std::printf("\ncompleted in %llu cycles\n",
+                (unsigned long long)res.cycles);
+    std::printf("P1 violations: %llu (expected 1: it had read X before "
+                "P0 committed)\n",
+                (unsigned long long)sys.proc(1).stats().violations);
+    std::printf("X = %llu, copy = %llu\n",
+                (unsigned long long)sys.memory().read(x),
+                (unsigned long long)sys.memory().read(x + 4096));
+    auto check = sys.checker().verify();
+    std::printf("serializability: %s\n",
+                check.ok ? "PASS" : check.error.c_str());
+    return check.ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scaling study example: run one of the paper's application profiles
+ * across processor counts and print speedups and execution-time
+ * breakdowns - a miniature version of the Figure 7 harness, intended
+ * as the template for your own scaling experiments.
+ *
+ * Usage: splash_scaling [app] [max_procs]
+ *   app        one of the Table 3 application names (default barnes)
+ *   max_procs  largest power-of-two processor count (default 32)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/synthetic_app.hh"
+
+using namespace tcc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "barnes";
+    const std::uint32_t max_procs =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
+
+    const AppProfile &app = appProfile(app_name);
+    std::printf("application: %s (median txn %0.f instr, ~%u words "
+                "read, ~%u written)\n",
+                app.name.c_str(), app.instrMedian, app.readWords,
+                app.writeWords);
+
+    double t1 = 0;
+    std::printf("%5s %12s %9s | %s\n", "cpus", "cycles", "speedup",
+                breakdownHeader().c_str());
+    for (std::uint32_t p = 1; p <= max_procs; p *= 2) {
+        SystemConfig cfg;
+        cfg.numProcs = p;
+        System sys(cfg);
+        auto sources = setupApp(sys, app, /*seed=*/1);
+        auto res = sys.run();
+        if (!res.completed) {
+            std::printf("%5u DID NOT COMPLETE\n", p);
+            continue;
+        }
+        if (p == 1)
+            t1 = static_cast<double>(res.cycles);
+        std::printf("%5u %12llu %8.1fx | %s\n", p,
+                    (unsigned long long)res.cycles,
+                    t1 / static_cast<double>(res.cycles),
+                    breakdownRow(app.name, sys.breakdown()).c_str());
+    }
+
+    std::puts("\nTable 3-style characterization at the largest size:");
+    {
+        SystemConfig cfg;
+        cfg.numProcs = max_procs;
+        System sys(cfg);
+        auto sources = setupApp(sys, app, 1);
+        sys.run();
+        std::puts(table3Header().c_str());
+        std::puts(table3Row(characterize(sys, app.name)).c_str());
+        std::puts(trafficHeader().c_str());
+        std::puts(
+            trafficRowText(trafficPerInstr(sys, app.name)).c_str());
+    }
+    return 0;
+}

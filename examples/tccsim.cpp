@@ -1,0 +1,191 @@
+/**
+ * @file
+ * tccsim: command-line driver for the Scalable TCC simulator. Runs one
+ * of the paper's application profiles on a configurable machine and
+ * prints every report the library produces - the tool you reach for
+ * when exploring a configuration without writing code.
+ *
+ * Usage:
+ *   tccsim [options]
+ *     --app NAME        application profile (default barnes; "list"
+ *                       prints the available names)
+ *     --procs N         processors/nodes (default 16)
+ *     --hop N           mesh cycles per hop (default 3)
+ *     --line-gran       line-granularity conflict detection
+ *     --interleave      page-interleaved homes (default first-touch)
+ *     --ideal-net       fixed-latency network instead of the mesh
+ *     --jitter N        random reorder jitter (unordered network)
+ *     --aging N         violations before TID aging (0 = off)
+ *     --seed N          workload seed (default 1)
+ *     --check           enable the serializability checker
+ *     --trace           dump the full protocol trace to stderr
+ *     --stats FILE      write a full gem5-style stats dump to FILE
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/log.hh"
+#include "core/stats_dump.hh"
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/synthetic_app.hh"
+
+using namespace tcc;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--app NAME] [--procs N] [--hop N] "
+                 "[--line-gran] [--interleave] [--ideal-net] "
+                 "[--jitter N] [--aging N] [--seed N] [--check] "
+                 "[--trace] [--stats FILE]\n",
+                 argv0);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = "barnes";
+    std::string stats_path;
+    SystemConfig cfg;
+    cfg.numProcs = 16;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app_name = next();
+        } else if (arg == "--procs") {
+            cfg.numProcs =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--hop") {
+            cfg.mesh.hopLatency =
+                static_cast<Tick>(std::atoi(next()));
+        } else if (arg == "--line-gran") {
+            cfg.cache.granularity = Granularity::Line;
+        } else if (arg == "--interleave") {
+            cfg.homePolicy = HomePolicy::Interleave;
+        } else if (arg == "--ideal-net") {
+            cfg.idealNetwork = true;
+        } else if (arg == "--jitter") {
+            cfg.mesh.reorderJitter =
+                static_cast<Tick>(std::atoi(next()));
+        } else if (arg == "--aging") {
+            cfg.processor.agingThreshold =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--check") {
+            cfg.enableChecker = true;
+        } else if (arg == "--trace") {
+            Trace::enableAll(true);
+        } else if (arg == "--stats") {
+            stats_path = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (app_name == "list") {
+        for (const auto &a : appProfiles())
+            std::puts(a.name.c_str());
+        return 0;
+    }
+
+    const AppProfile &app = appProfile(app_name);
+    std::printf("tccsim: %s on %u processors (hop=%llu, %s, %s%s)\n",
+                app.name.c_str(), cfg.numProcs,
+                (unsigned long long)cfg.mesh.hopLatency,
+                cfg.cache.granularity == Granularity::Word
+                    ? "word-granularity"
+                    : "line-granularity",
+                cfg.homePolicy == HomePolicy::FirstTouch
+                    ? "first-touch"
+                    : "interleaved",
+                cfg.idealNetwork ? ", ideal network" : "");
+
+    System sys(cfg);
+    auto sources = setupApp(sys, app, seed);
+    auto res = sys.run();
+    if (!res.completed) {
+        std::puts("DID NOT COMPLETE (livelock or lost message?)");
+        for (NodeId p = 0; p < cfg.numProcs; ++p)
+            if (!sys.proc(p).done())
+                std::fputs(sys.proc(p).debugDump().c_str(), stdout);
+        return 1;
+    }
+
+    std::printf("\ncompleted in %llu cycles (%llu events)\n",
+                (unsigned long long)res.cycles,
+                (unsigned long long)res.events);
+
+    std::puts("\n-- execution time breakdown --");
+    std::puts(breakdownHeader().c_str());
+    std::puts(breakdownRow(app.name, sys.breakdown()).c_str());
+
+    std::puts("\n-- transaction characteristics (Table 3 style) --");
+    std::puts(table3Header().c_str());
+    std::puts(table3Row(characterize(sys, app.name)).c_str());
+
+    std::puts("\n-- network traffic (Figure 9 style) --");
+    std::puts(trafficHeader().c_str());
+    std::puts(trafficRowText(trafficPerInstr(sys, app.name)).c_str());
+
+    std::uint64_t commits = 0, violations = 0, overflows = 0;
+    for (NodeId p = 0; p < cfg.numProcs; ++p) {
+        commits += sys.proc(p).stats().txnsCommitted;
+        violations += sys.proc(p).stats().violations;
+        overflows += sys.proc(p).stats().overflows;
+    }
+    std::printf("\ncommits=%llu violations=%llu overflows=%llu "
+                "quiesced=%s\n",
+                (unsigned long long)commits,
+                (unsigned long long)violations,
+                (unsigned long long)overflows,
+                sys.protocolQuiesced() ? "yes" : "NO");
+
+    auto hotspots = conflictHotspots(sys, 5);
+    if (!hotspots.empty()) {
+        std::puts("\n-- conflict hotspots (TAPE style) --");
+        for (const auto &h : hotspots)
+            std::printf("  line %llx: %llu violations\n",
+                        (unsigned long long)h.lineAddr,
+                        (unsigned long long)h.violations);
+    }
+
+    if (!stats_path.empty()) {
+        std::ofstream f(stats_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         stats_path.c_str());
+            return 1;
+        }
+        dumpStats(sys, f);
+        std::printf("\nfull stats written to %s\n",
+                    stats_path.c_str());
+    }
+
+    if (cfg.enableChecker) {
+        auto check = sys.checker().verify();
+        std::printf("\nserializability: %s\n",
+                    check.ok ? "PASS" : check.error.c_str());
+        if (!check.ok)
+            return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "check/serial_checker.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tcc {
+
+SerialChecker::Result
+SerialChecker::verify() const
+{
+    Result res;
+    std::vector<const Record *> order;
+    order.reserve(log.size());
+    for (const auto &r : log)
+        order.push_back(&r);
+    std::sort(order.begin(), order.end(),
+              [](const Record *a, const Record *b) {
+                  return a->tid < b->tid;
+              });
+
+    // TIDs must be unique (the vendor sequence is gap-free but some
+    // TIDs are consumed by aborted attempts, so gaps are fine here).
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        if (order[i]->tid == order[i - 1]->tid) {
+            res.ok = false;
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "duplicate TID %llu committed twice",
+                          (unsigned long long)order[i]->tid);
+            res.error = buf;
+            return res;
+        }
+    }
+
+    std::unordered_map<Addr, std::uint64_t> model = initial;
+    for (const Record *r : order) {
+        for (const auto &[addr, seen] : r->reads) {
+            auto it = model.find(addr);
+            const std::uint64_t expect =
+                it == model.end() ? 0 : it->second;
+            if (seen != expect) {
+                res.ok = false;
+                char buf[160];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "TID %llu (proc %u) read %llx=%llu but serial "
+                    "replay expects %llu",
+                    (unsigned long long)r->tid, r->proc,
+                    (unsigned long long)addr,
+                    (unsigned long long)seen,
+                    (unsigned long long)expect);
+                res.error = buf;
+                return res;
+            }
+        }
+        for (const auto &[addr, value] : r->writes)
+            model[addr] = value;
+        ++res.txnsChecked;
+    }
+    return res;
+}
+
+std::unordered_map<Addr, std::uint64_t>
+SerialChecker::replayFinalState() const
+{
+    std::vector<const Record *> order;
+    order.reserve(log.size());
+    for (const auto &r : log)
+        order.push_back(&r);
+    std::sort(order.begin(), order.end(),
+              [](const Record *a, const Record *b) {
+                  return a->tid < b->tid;
+              });
+    std::unordered_map<Addr, std::uint64_t> model = initial;
+    for (const Record *r : order)
+        for (const auto &[addr, value] : r->writes)
+            model[addr] = value;
+    return model;
+}
+
+} // namespace tcc

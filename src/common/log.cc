@@ -1,0 +1,73 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+
+namespace tcc {
+
+namespace {
+
+const char *
+catName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Proc: return "proc";
+      case TraceCat::Dir: return "dir";
+      case TraceCat::Net: return "net";
+      case TraceCat::Cache: return "cache";
+      case TraceCat::Commit: return "commit";
+      case TraceCat::Workload: return "workload";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::fprintf(stderr, "warn: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+void
+tracef(TraceCat cat, const char *fmt, ...)
+{
+    if (!Trace::on(cat))
+        return;
+    std::fprintf(stderr, "[%s] ", catName(cat));
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace tcc

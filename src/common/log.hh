@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal leveled logging / fatal-error helpers, in the spirit of gem5's
+ * logging.hh: panic() for simulator bugs, fatal() for user errors, and a
+ * per-category debug trace that is cheap when disabled.
+ */
+
+#ifndef TCC_COMMON_LOG_HH
+#define TCC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tcc {
+
+/** Trace categories that can be toggled at run time. */
+enum class TraceCat : unsigned {
+    Proc = 0,
+    Dir,
+    Net,
+    Cache,
+    Commit,
+    Workload,
+    NumCats,
+};
+
+/** Global trace switchboard. All categories default to off. */
+class Trace
+{
+  public:
+    /** Enable or disable one category. */
+    static void
+    enable(TraceCat cat, bool on = true)
+    {
+        flags()[static_cast<unsigned>(cat)] = on;
+    }
+
+    /** Enable every category (verbose protocol dumps). */
+    static void
+    enableAll(bool on = true)
+    {
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(TraceCat::NumCats); ++i) {
+            flags()[i] = on;
+        }
+    }
+
+    /** @return true iff @p cat is currently traced. */
+    static bool
+    on(TraceCat cat)
+    {
+        return flags()[static_cast<unsigned>(cat)];
+    }
+
+  private:
+    static bool *
+    flags()
+    {
+        static bool f[static_cast<unsigned>(TraceCat::NumCats)] = {};
+        return f;
+    }
+};
+
+/**
+ * Abort the simulation due to an internal simulator bug.
+ * Mirrors gem5 panic(): this should never fire regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit the simulation due to a user/configuration error.
+ * Mirrors gem5 fatal().
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr without stopping the simulation. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a trace line if @p cat is enabled (prefixed with the category). */
+void tracef(TraceCat cat, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace tcc
+
+#endif // TCC_COMMON_LOG_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * NodeSet: a small dynamic bit set over node IDs. Used for directory
+ * sharers lists and for the per-processor Sharing and Writing vectors
+ * (Figure 1b / Figure 4 of the paper).
+ */
+
+#ifndef TCC_COMMON_NODESET_HH
+#define TCC_COMMON_NODESET_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcc {
+
+/**
+ * A fixed-capacity bit set over node IDs with iteration support.
+ *
+ * The capacity is set at construction (the number of nodes in the
+ * system) and never changes, mirroring a hardware bit vector.
+ */
+class NodeSet
+{
+  public:
+    NodeSet() = default;
+
+    /** Construct an empty set able to hold nodes [0, num_nodes). */
+    explicit NodeSet(std::uint32_t num_nodes)
+        : numNodes(num_nodes), words((num_nodes + 63) / 64, 0)
+    {}
+
+    /** Number of node IDs this set can hold. */
+    std::uint32_t capacity() const { return numNodes; }
+
+    /** Add @p n to the set. */
+    void
+    set(NodeId n)
+    {
+        assert(n < numNodes);
+        words[n >> 6] |= (std::uint64_t{1} << (n & 63));
+    }
+
+    /** Remove @p n from the set. */
+    void
+    clear(NodeId n)
+    {
+        assert(n < numNodes);
+        words[n >> 6] &= ~(std::uint64_t{1} << (n & 63));
+    }
+
+    /** Remove every node from the set. */
+    void
+    clearAll()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** @return true iff @p n is in the set. */
+    bool
+    test(NodeId n) const
+    {
+        assert(n < numNodes);
+        return (words[n >> 6] >> (n & 63)) & 1;
+    }
+
+    /** @return true iff the set is empty. */
+    bool
+    empty() const
+    {
+        for (auto w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** Number of nodes in the set. */
+    std::uint32_t
+    count() const
+    {
+        std::uint32_t c = 0;
+        for (auto w : words)
+            c += static_cast<std::uint32_t>(__builtin_popcountll(w));
+        return c;
+    }
+
+    /** Invoke @p fn for every member, in increasing node order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w) {
+                const int bit = __builtin_ctzll(w);
+                fn(static_cast<NodeId>(wi * 64 + bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Collect the members into a vector (mostly for tests). */
+    std::vector<NodeId>
+    toVector() const
+    {
+        std::vector<NodeId> v;
+        forEach([&](NodeId n) { v.push_back(n); });
+        return v;
+    }
+
+    bool
+    operator==(const NodeSet &o) const
+    {
+        return numNodes == o.numNodes && words == o.words;
+    }
+
+  private:
+    std::uint32_t numNodes = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace tcc
+
+#endif // TCC_COMMON_NODESET_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared by every module of the
+ * Scalable TCC simulator.
+ */
+
+#ifndef TCC_COMMON_TYPES_HH
+#define TCC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tcc {
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Global transaction identifier (gap-free sequence from the TID vendor). */
+using Tid = std::uint64_t;
+
+/** Node number: one processor + one directory + one memory slice per node. */
+using NodeId = std::uint32_t;
+
+/** Sentinel meaning "no transaction ID assigned". */
+inline constexpr Tid kInvalidTid = std::numeric_limits<Tid>::max();
+
+/** Sentinel meaning "no node" (e.g., a line with no owner). */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel tick meaning "never". */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Conflict-detection granularity for speculative read/write tracking. */
+enum class Granularity { Word, Line };
+
+/** Policy for mapping a physical address to its home node/directory. */
+enum class HomePolicy { Interleave, FirstTouch };
+
+} // namespace tcc
+
+#endif // TCC_COMMON_TYPES_HH

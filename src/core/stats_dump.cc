@@ -1,0 +1,129 @@
+#include "core/stats_dump.hh"
+
+#include <string>
+
+namespace tcc {
+
+namespace {
+
+void
+line(std::ostream &os, const std::string &name, std::uint64_t v)
+{
+    os << name << " " << v << "\n";
+}
+
+void
+lined(std::ostream &os, const std::string &name, double v)
+{
+    os << name << " " << v << "\n";
+}
+
+void
+dumpDistribution(std::ostream &os, const std::string &prefix,
+                 const Distribution &d)
+{
+    line(os, prefix + ".count", d.count());
+    if (d.count() == 0)
+        return;
+    lined(os, prefix + ".mean", d.mean());
+    lined(os, prefix + ".p50", d.percentile(50));
+    lined(os, prefix + ".p90", d.percentile(90));
+    lined(os, prefix + ".max", d.max());
+}
+
+} // namespace
+
+void
+dumpStats(const System &sys, std::ostream &os)
+{
+    os << "---------- begin tcc stats ----------\n";
+
+    // --- system-level ------------------------------------------------
+    const Breakdown bd = sys.breakdown();
+    line(os, "system.procs", sys.numProcs());
+    line(os, "system.committed_instructions",
+         sys.committedInstructions());
+    line(os, "system.useful_cycles", bd.useful);
+    line(os, "system.miss_cycles", bd.miss);
+    line(os, "system.commit_cycles", bd.commit);
+    line(os, "system.idle_cycles", bd.idle);
+    line(os, "system.violation_cycles", bd.violation);
+    line(os, "system.tids_issued", sys.vendor().issued());
+    line(os, "system.quiesced", sys.protocolQuiesced() ? 1 : 0);
+
+    // --- network -------------------------------------------------------
+    const auto &ns = sys.network().stats();
+    line(os, "network.messages", ns.messages);
+    line(os, "network.bytes", ns.totalBytes);
+    line(os, "network.hops", ns.totalHops);
+    line(os, "network.bytes.overhead",
+         ns.classBytes[(int)TrafficClass::Overhead]);
+    line(os, "network.bytes.miss",
+         ns.classBytes[(int)TrafficClass::Miss]);
+    line(os, "network.bytes.writeback",
+         ns.classBytes[(int)TrafficClass::WriteBack]);
+    line(os, "network.bytes.shared",
+         ns.classBytes[(int)TrafficClass::Shared]);
+
+    // --- per processor ---------------------------------------------------
+    for (NodeId p = 0; p < sys.numProcs(); ++p) {
+        const auto &s = sys.proc(p).stats();
+        const std::string pre = "proc" + std::to_string(p);
+        line(os, pre + ".useful_cycles", s.usefulCycles);
+        line(os, pre + ".miss_cycles", s.missCycles);
+        line(os, pre + ".commit_cycles", s.commitCycles);
+        line(os, pre + ".idle_cycles", s.idleCycles);
+        line(os, pre + ".violation_cycles", s.violationCycles);
+        line(os, pre + ".txns_committed", s.txnsCommitted);
+        line(os, pre + ".violations", s.violations);
+        line(os, pre + ".overflows", s.overflows);
+        line(os, pre + ".solo_commits", s.soloCommits);
+        line(os, pre + ".drains", s.drains);
+        line(os, pre + ".tid_requests", s.tidRequests);
+        line(os, pre + ".value_validation_failures",
+             s.valueValidationFailures);
+        dumpDistribution(os, pre + ".txn_instructions",
+                         s.txnInstructions);
+        dumpDistribution(os, pre + ".commit_latency", s.commitLatency);
+
+        const auto &cs = sys.proc(p).cache().stats();
+        line(os, pre + ".cache.loads", cs.loads);
+        line(os, pre + ".cache.stores", cs.stores);
+        line(os, pre + ".cache.l1_hits", cs.l1Hits);
+        line(os, pre + ".cache.l2_hits", cs.l2Hits);
+        line(os, pre + ".cache.misses", cs.misses);
+        line(os, pre + ".cache.fills", cs.fills);
+        line(os, pre + ".cache.dirty_evictions", cs.dirtyEvictions);
+        line(os, pre + ".cache.overflows", cs.overflows);
+        line(os, pre + ".cache.ghosts", cs.ghostsCreated);
+    }
+
+    // --- per directory ---------------------------------------------------
+    for (NodeId d = 0; d < sys.numProcs(); ++d) {
+        const auto &s = sys.directory(d).stats();
+        const std::string pre = "dir" + std::to_string(d);
+        line(os, pre + ".nstid", sys.directory(d).nstid());
+        line(os, pre + ".loads_served", s.loadsServed);
+        line(os, pre + ".loads_stalled", s.loadsStalled);
+        line(os, pre + ".loads_forwarded", s.loadsForwarded);
+        line(os, pre + ".skips", s.skipsReceived);
+        line(os, pre + ".commits", s.commitsServed);
+        line(os, pre + ".partial_commits", s.partialCommitsServed);
+        line(os, pre + ".aborts", s.abortsServed);
+        line(os, pre + ".invalidations", s.invalidationsSent);
+        line(os, pre + ".writebacks_accepted", s.writeBacksAccepted);
+        line(os, pre + ".writebacks_dropped", s.writeBacksDropped);
+        line(os, pre + ".marks", s.marksReceived);
+        line(os, pre + ".probes_deferred", s.probesDeferred);
+        line(os, pre + ".dir_cache_misses", s.dirCacheMisses);
+        line(os, pre + ".busy_cycles", s.busyCycles);
+        line(os, pre + ".entries", sys.directory(d).numEntries());
+        dumpDistribution(os, pre + ".commit_occupancy",
+                         s.commitOccupancy);
+        dumpDistribution(os, pre + ".working_set", s.workingSet);
+    }
+
+    os << "---------- end tcc stats ----------\n";
+}
+
+} // namespace tcc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Full statistics dump, in the spirit of gem5's stats.txt: every
+ * counter the simulator keeps, rendered as "name value" lines grouped
+ * by component. Meant for regression diffing and offline analysis.
+ */
+
+#ifndef TCC_CORE_STATS_DUMP_HH
+#define TCC_CORE_STATS_DUMP_HH
+
+#include <ostream>
+
+#include "core/system.hh"
+
+namespace tcc {
+
+/**
+ * Write every statistic of @p sys to @p os:
+ *   system.*            run-level aggregates
+ *   network.*           message/byte/hop counters by traffic class
+ *   proc<N>.*           per-processor breakdown + transaction stats
+ *   dir<N>.*            per-directory protocol counters
+ */
+void dumpStats(const System &sys, std::ostream &os);
+
+} // namespace tcc
+
+#endif // TCC_CORE_STATS_DUMP_HH

@@ -1,0 +1,204 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tcc {
+
+System::System(const SystemConfig &cfg)
+    : config(cfg),
+      homes(cfg.numProcs, cfg.homePolicy, cfg.pageBytes)
+{
+    if (cfg.numProcs == 0)
+        fatal("a system needs at least one processor");
+
+    if (cfg.idealNetwork) {
+        net = std::make_unique<IdealNetwork>(eventq, cfg.numProcs,
+                                             cfg.idealLatency);
+    } else {
+        net = std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
+                                            cfg.mesh);
+    }
+
+    tidVendor = std::make_unique<TidVendor>(0, eventq, *net,
+                                            cfg.tidVendorLatency);
+
+    DirectoryConfig dir_cfg = cfg.directory;
+    dir_cfg.lineBytes = cfg.cache.lineBytes;
+    dir_cfg.writeThroughCommit = cfg.writeThroughCommit;
+    ProcessorConfig proc_cfg = cfg.processor;
+    proc_cfg.writeThroughCommit = cfg.writeThroughCommit;
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        dirs.push_back(std::make_unique<Directory>(
+            n, cfg.numProcs, eventq, *net, dir_cfg));
+        procs.push_back(std::make_unique<TccProcessor>(
+            n, cfg.numProcs, eventq, *net, homes, store, cfg.cache,
+            proc_cfg, /*vendor_node=*/0));
+        procs.back()->setBarrier(
+            [this](NodeId node, std::function<void()> resume) {
+                barrierArrive(node, std::move(resume));
+            });
+        procs.back()->setDoneHook([this]() {
+            ++doneProcs;
+            checkBarrierRelease();
+        });
+        if (cfg.enableChecker) {
+            procs.back()->setCommitHook(
+                [this](Tid tid, NodeId proc, const auto &reads,
+                       const auto &writes) {
+                    serialChecker.record(tid, proc, reads, writes);
+                });
+        }
+        net->connect(n, [this, n](const Message &msg) {
+            dispatch(n, msg);
+        });
+    }
+}
+
+void
+System::dispatch(NodeId node, const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::LoadReq:
+      case MsgType::Skip:
+      case MsgType::Probe:
+      case MsgType::Mark:
+      case MsgType::Commit:
+      case MsgType::Abort:
+      case MsgType::WriteBack:
+      case MsgType::FlushData:
+      case MsgType::InvAck:
+      case MsgType::PartialCommit:
+        dirs[node]->receive(msg);
+        return;
+      case MsgType::LoadReply:
+      case MsgType::TidReply:
+      case MsgType::ProbeReply:
+      case MsgType::Inv:
+      case MsgType::DataReq:
+      case MsgType::PartialAck:
+        procs[node]->receive(msg);
+        return;
+      case MsgType::TidReq:
+        if (node != 0)
+            panic("TID request routed to node %u (vendor is node 0)",
+                  node);
+        tidVendor->receive(msg);
+        return;
+    }
+    panic("unroutable message type");
+}
+
+void
+System::setSource(NodeId proc_id, TransactionSource *src)
+{
+    procs.at(proc_id)->setSource(src);
+}
+
+void
+System::bindRegion(Addr base, std::uint64_t bytes, NodeId home)
+{
+    const Addr page = config.pageBytes;
+    for (Addr a = base; a < base + bytes; a += page)
+        homes.bind(a, home);
+}
+
+void
+System::initializeWord(Addr addr, std::uint64_t value)
+{
+    store.write(addr, value);
+    if (config.enableChecker)
+        serialChecker.setInitial(GlobalStore::wordAlign(addr), value);
+}
+
+void
+System::barrierArrive(NodeId node, std::function<void()> resume)
+{
+    barrierWaiters.emplace_back(node, std::move(resume));
+    checkBarrierRelease();
+}
+
+void
+System::checkBarrierRelease()
+{
+    const std::uint32_t active = config.numProcs - doneProcs;
+    if (active == 0 || barrierWaiters.size() < active)
+        return;
+    auto waiters = std::move(barrierWaiters);
+    barrierWaiters.clear();
+    for (auto &[node, resume] : waiters) {
+        eventq.schedule(1, [fn = std::move(resume)]() { fn(); });
+    }
+}
+
+System::RunResult
+System::run(Tick max_ticks)
+{
+    for (auto &p : procs)
+        p->start();
+
+    RunResult res;
+    while (!eventq.empty() && eventq.now() <= max_ticks) {
+        eventq.step();
+        ++res.events;
+    }
+
+    bool all_done = true;
+    Tick end = 0;
+    for (auto &p : procs) {
+        if (!p->done())
+            all_done = false;
+        else
+            end = std::max(end, p->doneTick());
+    }
+    res.completed = all_done;
+    res.cycles = all_done ? end : eventq.now();
+
+    // Early finishers idle until the last processor completes.
+    if (all_done) {
+        for (auto &p : procs) {
+            p->mutableStats().idleCycles += end - p->doneTick();
+        }
+    }
+    return res;
+}
+
+Breakdown
+System::breakdown() const
+{
+    Breakdown bd;
+    for (const auto &p : procs) {
+        const auto &s = p->stats();
+        bd.useful += s.usefulCycles;
+        bd.miss += s.missCycles;
+        bd.commit += s.commitCycles;
+        bd.idle += s.idleCycles;
+        bd.violation += s.violationCycles;
+    }
+    return bd;
+}
+
+std::uint64_t
+System::committedInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p->stats().committedInstructions;
+    return n;
+}
+
+bool
+System::protocolQuiesced() const
+{
+    const Tid issued = tidVendor->issued();
+    for (const auto &d : dirs) {
+        if (!d->quiesced())
+            return false;
+        if (d->nstid() != issued)
+            return false;
+    }
+    return true;
+}
+
+} // namespace tcc

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Scalable TCC system assembly: the library's primary public API.
+ *
+ * A System instantiates one node per processor - each node hosting a
+ * TCC processor with a private speculative cache hierarchy, a
+ * directory with the node's memory slice, and a network interface -
+ * plus the global TID vendor at node 0 and a 2D-mesh interconnect.
+ *
+ * Typical use:
+ *
+ *   tcc::SystemConfig cfg;
+ *   cfg.numProcs = 32;
+ *   tcc::System sys(cfg);
+ *   sys.setSource(p, &mySource);   // one TransactionSource per proc
+ *   auto result = sys.run();
+ *   auto bd = sys.breakdown();     // execution-time buckets
+ */
+
+#ifndef TCC_CORE_SYSTEM_HH
+#define TCC_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/spec_cache.hh"
+#include "check/serial_checker.hh"
+#include "common/types.hh"
+#include "directory/directory.hh"
+#include "mem/global_store.hh"
+#include "mem/home_map.hh"
+#include "noc/network.hh"
+#include "proc/processor.hh"
+#include "proc/tid_vendor.hh"
+#include "sim/event_queue.hh"
+
+namespace tcc {
+
+/** Full system configuration (defaults follow the paper's Table 2). */
+struct SystemConfig {
+    std::uint32_t numProcs = 8;
+    CacheConfig cache;
+    DirectoryConfig directory;
+    MeshConfig mesh;
+    ProcessorConfig processor;
+    HomePolicy homePolicy = HomePolicy::FirstTouch;
+    std::uint32_t pageBytes = 4096;
+    /** Use a fixed-latency network instead of the mesh (unit tests). */
+    bool idealNetwork = false;
+    Tick idealLatency = 1;
+    /** TID vendor service latency. */
+    Tick tidVendorLatency = 5;
+    /** Record commit logs and enable serializability verification. */
+    bool enableChecker = false;
+    /** Ablation: write-through commit (data with marks) instead of the
+     *  paper's write-back commit. */
+    bool writeThroughCommit = false;
+};
+
+/** Aggregated execution-time breakdown across all processors. */
+struct Breakdown {
+    std::uint64_t useful = 0;
+    std::uint64_t miss = 0;
+    std::uint64_t commit = 0;
+    std::uint64_t idle = 0;
+    std::uint64_t violation = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return useful + miss + commit + idle + violation;
+    }
+
+    double
+    fraction(std::uint64_t part) const
+    {
+        const std::uint64_t t = total();
+        return t == 0 ? 0.0
+                      : static_cast<double>(part) /
+                            static_cast<double>(t);
+    }
+};
+
+/** A complete Scalable TCC machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Attach the transaction stream for processor @p proc. The source
+     *  must outlive the System's run. */
+    void setSource(NodeId proc, TransactionSource *src);
+
+    /** Write initial (non-transactional) memory state before running. */
+    void initializeWord(Addr addr, std::uint64_t value);
+
+    /** Place all pages of [base, base+bytes) at @p home (models the
+     *  OS page placement a real first-touch run would produce). */
+    void bindRegion(Addr base, std::uint64_t bytes, NodeId home);
+
+    struct RunResult {
+        Tick cycles = 0;       ///< completion time (last proc done)
+        bool completed = false;///< all processors drained their sources
+        std::uint64_t events = 0;
+    };
+
+    /** Run to completion (or @p max_ticks). */
+    RunResult run(Tick max_ticks = kTickMax);
+
+    // --- component access -------------------------------------------
+    std::uint32_t numProcs() const { return config.numProcs; }
+    const TccProcessor &proc(NodeId n) const { return *procs.at(n); }
+    TccProcessor &proc(NodeId n) { return *procs.at(n); }
+    const Directory &directory(NodeId n) const { return *dirs.at(n); }
+    const Network &network() const { return *net; }
+    Network &network() { return *net; }
+    GlobalStore &memory() { return store; }
+    EventQueue &eventQueue() { return eventq; }
+    const SerialChecker &checker() const { return serialChecker; }
+    const TidVendor &vendor() const { return *tidVendor; }
+    const SystemConfig &cfg() const { return config; }
+
+    // --- aggregate reporting ------------------------------------------
+    /** Sum of per-processor breakdown buckets. */
+    Breakdown breakdown() const;
+
+    /** Total committed instructions (Figure 9 normalization). */
+    std::uint64_t committedInstructions() const;
+
+    /** All directories retired every issued TID and hold no pending
+     *  state: the protocol fully quiesced (test invariant). */
+    bool protocolQuiesced() const;
+
+  private:
+    void dispatch(NodeId node, const Message &msg);
+    void barrierArrive(NodeId node, std::function<void()> resume);
+    void checkBarrierRelease();
+
+    SystemConfig config;
+    EventQueue eventq;
+    std::unique_ptr<Network> net;
+    HomeMap homes;
+    GlobalStore store;
+    SerialChecker serialChecker;
+    std::unique_ptr<TidVendor> tidVendor;
+    std::vector<std::unique_ptr<Directory>> dirs;
+    std::vector<std::unique_ptr<TccProcessor>> procs;
+
+    // Barrier service (SPMD phase barriers between transactions).
+    std::vector<std::pair<NodeId, std::function<void()>>> barrierWaiters;
+    std::uint32_t doneProcs = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_CORE_SYSTEM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional memory state. The timing model moves addresses and
+ * abstract "data" through caches and the network; the functional model
+ * here holds the actual committed word values so that workloads compute
+ * real results and the serializability checker can verify them.
+ *
+ * TCC semantics map naturally onto a timing/functional split: a load
+ * observes (a) the transaction's own speculative write buffer, else
+ * (b) the last *committed* value; a commit atomically publishes the
+ * transaction's write set. Violations force re-execution, at which
+ * point loads re-observe the newer committed state - exactly the
+ * behaviour the protocol's invalidations enforce in hardware.
+ */
+
+#ifndef TCC_MEM_GLOBAL_STORE_HH
+#define TCC_MEM_GLOBAL_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace tcc {
+
+/** Committed word values, keyed by word-aligned address. */
+class GlobalStore
+{
+  public:
+    /** Read the committed value of the word at @p addr (0 if untouched). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = words.find(wordAlign(addr));
+        return it == words.end() ? 0 : it->second;
+    }
+
+    /** Publish a committed value. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        words[wordAlign(addr)] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprint() const { return words.size(); }
+
+    /** Word size used for alignment (bytes). */
+    static constexpr Addr kWordBytes = 4;
+
+    static Addr wordAlign(Addr a) { return a & ~(kWordBytes - 1); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words;
+};
+
+} // namespace tcc
+
+#endif // TCC_MEM_GLOBAL_STORE_HH

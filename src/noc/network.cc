@@ -1,0 +1,117 @@
+#include "noc/network.hh"
+
+#include <cmath>
+
+namespace tcc {
+
+namespace {
+
+/** Smallest near-square grid that holds @p n nodes. */
+std::uint32_t
+gridSide(std::uint32_t n)
+{
+    std::uint32_t c = 1;
+    while (c * c < n)
+        ++c;
+    return c;
+}
+
+enum Dir : unsigned { East = 0, West = 1, North = 2, South = 3 };
+
+} // namespace
+
+MeshNetwork::MeshNetwork(EventQueue &eq, std::uint32_t num_nodes,
+                         const MeshConfig &cfg)
+    : Network(eq, num_nodes), config(cfg),
+      gridCols(gridSide(num_nodes)),
+      gridRows((num_nodes + gridSide(num_nodes) - 1) /
+               gridSide(num_nodes)),
+      // Routes may pass through unpopulated grid slots when the node
+      // count is not a perfect square, so size links for the full grid.
+      linkFree(static_cast<std::size_t>(gridCols) * gridRows * 4, 0),
+      jitterRng(cfg.seed)
+{
+    if (config.linkBytesPerCycle == 0)
+        fatal("mesh linkBytesPerCycle must be nonzero");
+}
+
+std::size_t
+MeshNetwork::linkIndex(NodeId n, unsigned dir) const
+{
+    return static_cast<std::size_t>(n) * 4 + dir;
+}
+
+unsigned
+MeshNetwork::hopCount(NodeId a, NodeId b) const
+{
+    const int ax = static_cast<int>(a % gridCols);
+    const int ay = static_cast<int>(a / gridCols);
+    const int bx = static_cast<int>(b % gridCols);
+    const int by = static_cast<int>(b / gridCols);
+    return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+void
+MeshNetwork::send(Message msg)
+{
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
+    if (src >= numNodes() || dst >= numNodes())
+        panic("mesh send with bad endpoint %u->%u", src, dst);
+
+    if (src == dst) {
+        // Local loopback: one-cycle turnaround, no link usage.
+        deliver(std::move(msg), 1, 0);
+        return;
+    }
+
+    const Tick ser = std::max<Tick>(
+        1, (msg.bytes + config.linkBytesPerCycle - 1) /
+               config.linkBytesPerCycle);
+
+    // Walk the XY route, advancing time across each link and updating
+    // its next-free tick (store-and-forward with contention).
+    Tick t = eventq.now() + config.routerDelay;
+    unsigned hops = 0;
+    int x = static_cast<int>(src % gridCols);
+    int y = static_cast<int>(src / gridCols);
+    const int dx = static_cast<int>(dst % gridCols);
+    const int dy = static_cast<int>(dst / gridCols);
+    NodeId cur = src;
+
+    auto cross = [&](unsigned dir, NodeId next) {
+        const std::size_t li = linkIndex(cur, dir);
+        const Tick depart = std::max(t, linkFree[li]);
+        linkFree[li] = depart + ser;
+        t = depart + ser + config.hopLatency + config.routerDelay;
+        cur = next;
+        ++hops;
+    };
+
+    while (x != dx) {
+        if (x < dx) {
+            cross(East, cur + 1);
+            ++x;
+        } else {
+            cross(West, cur - 1);
+            --x;
+        }
+    }
+    while (y != dy) {
+        if (y < dy) {
+            cross(South, cur + gridCols);
+            ++y;
+        } else {
+            cross(North, cur - gridCols);
+            --y;
+        }
+    }
+
+    Tick delay = t - eventq.now();
+    if (config.reorderJitter > 0)
+        delay += jitterRng.below(config.reorderJitter + 1);
+
+    deliver(std::move(msg), delay, hops);
+}
+
+} // namespace tcc

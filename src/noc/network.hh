@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Interconnection network models. The paper evaluates a 2D grid with
+ * 3-cycle links (swept 2-8 in Figure 8); MeshNetwork models that
+ * topology with XY dimension-order routing, per-link serialization and
+ * contention. IdealNetwork delivers with a fixed latency and is used in
+ * unit tests to isolate protocol logic from network timing.
+ */
+
+#ifndef TCC_NOC_NETWORK_HH
+#define TCC_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "noc/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace tcc {
+
+/** Per-class traffic counters feeding the Figure 9 reproduction. */
+struct NetworkStats {
+    std::uint64_t messages = 0;
+    std::uint64_t totalBytes = 0;
+    /** Bytes by traffic class (indexed by TrafficClass). */
+    std::uint64_t classBytes[static_cast<int>(TrafficClass::NumClasses)] =
+        {};
+    /** Bytes received per node (Figure 9 is per-directory traffic). */
+    std::vector<std::uint64_t> nodeBytes;
+    std::uint64_t totalHops = 0;
+
+    void
+    account(const Message &msg, unsigned hops)
+    {
+        ++messages;
+        totalBytes += msg.bytes;
+        classBytes[static_cast<int>(trafficClassOf(msg.type))] +=
+            msg.bytes;
+        if (msg.dst < nodeBytes.size())
+            nodeBytes[msg.dst] += msg.bytes;
+        totalHops += hops;
+    }
+};
+
+/**
+ * Abstract network: point-to-point message delivery between nodes.
+ * Delivery is always asynchronous through the event queue, even with
+ * zero latency, so handlers never run re-entrantly inside send().
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(const Message &)>;
+
+    Network(EventQueue &eq, std::uint32_t num_nodes)
+        : eventq(eq), handlers(num_nodes)
+    {
+        netStats.nodeBytes.assign(num_nodes, 0);
+    }
+
+    virtual ~Network() = default;
+
+    /** Register the message handler for node @p n. */
+    void
+    connect(NodeId n, Handler h)
+    {
+        handlers.at(n) = std::move(h);
+    }
+
+    /** Number of endpoints. */
+    std::uint32_t numNodes() const { return handlers.size(); }
+
+    /**
+     * Send @p msg from msg.src to msg.dst. @p msg.bytes must already
+     * include header + payload. Local (src == dst) messages still pay
+     * a minimal turnaround latency of one cycle.
+     */
+    virtual void send(Message msg) = 0;
+
+    /** Cumulative traffic statistics. */
+    const NetworkStats &stats() const { return netStats; }
+
+    /** Reset traffic statistics (e.g., after warmup). */
+    void
+    resetStats()
+    {
+        netStats = NetworkStats{};
+        netStats.nodeBytes.assign(handlers.size(), 0);
+    }
+
+  protected:
+    /** Deliver @p msg at now + @p delay and account @p hops. */
+    void
+    deliver(Message msg, Tick delay, unsigned hops)
+    {
+        netStats.account(msg, hops);
+        const NodeId dst = msg.dst;
+        eventq.schedule(delay, [this, m = std::move(msg), dst]() {
+            if (!handlers[dst])
+                panic("message to unconnected node %u", dst);
+            handlers[dst](m);
+        });
+    }
+
+    EventQueue &eventq;
+
+  private:
+    std::vector<Handler> handlers;
+    NetworkStats netStats;
+};
+
+/** Fixed-latency, infinite-bandwidth network for unit tests. */
+class IdealNetwork : public Network
+{
+  public:
+    IdealNetwork(EventQueue &eq, std::uint32_t num_nodes,
+                 Tick latency = 1)
+        : Network(eq, num_nodes), fixedLatency(latency)
+    {}
+
+    void
+    send(Message msg) override
+    {
+        deliver(std::move(msg), fixedLatency, 1);
+    }
+
+  private:
+    Tick fixedLatency;
+};
+
+/** Configuration for MeshNetwork. */
+struct MeshConfig {
+    /** Per-hop link traversal latency in cycles (Figure 8 sweeps this). */
+    Tick hopLatency = 3;
+    /** Link bandwidth in bytes per cycle (serialization delay). */
+    std::uint32_t linkBytesPerCycle = 8;
+    /** Fixed router pipeline delay per hop. */
+    Tick routerDelay = 1;
+    /**
+     * Optional uniform random extra delay in [0, jitter] applied per
+     * message. Nonzero values create out-of-order delivery, used to
+     * exercise the protocol's unordered-network race handling (paper
+     * Section 3.3 "Race Elimination").
+     */
+    Tick reorderJitter = 0;
+    /** Seed for the jitter stream. */
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * 2D mesh with XY dimension-order routing.
+ *
+ * Contention model: each directed link keeps the tick at which it next
+ * becomes free. A message crossing the link departs at
+ * max(arrival, linkFree) and occupies the link for its serialization
+ * time. This analytic store-and-forward model captures queueing delay
+ * and link saturation without per-flit events.
+ */
+class MeshNetwork : public Network
+{
+  public:
+    MeshNetwork(EventQueue &eq, std::uint32_t num_nodes,
+                const MeshConfig &cfg = MeshConfig{});
+
+    void send(Message msg) override;
+
+    /** Mesh side lengths chosen at construction. */
+    std::uint32_t cols() const { return gridCols; }
+    std::uint32_t rows() const { return gridRows; }
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hopCount(NodeId a, NodeId b) const;
+
+  private:
+    /** Directed link index from node @p n toward direction @p d. */
+    std::size_t linkIndex(NodeId n, unsigned dir) const;
+
+    MeshConfig config;
+    std::uint32_t gridCols;
+    std::uint32_t gridRows;
+    /** Next-free tick per directed link (4 directions per node). */
+    std::vector<Tick> linkFree;
+    Rng jitterRng;
+};
+
+} // namespace tcc
+
+#endif // TCC_NOC_NETWORK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Global TID vendor. The paper requires a *gap-free* sequence of
+ * transaction IDs (distributed timestamps a la TLR do not work because
+ * directories must be able to account for every TID, serviced or
+ * skipped). We model the vendor as a simple serialized server hosted
+ * at node 0.
+ */
+
+#ifndef TCC_PROC_TID_VENDOR_HH
+#define TCC_PROC_TID_VENDOR_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+
+namespace tcc {
+
+/** Serialized global Transaction-ID vendor. */
+class TidVendor
+{
+  public:
+    TidVendor(NodeId node, EventQueue &eq, Network &net,
+              Tick service_latency = 5)
+        : nodeId(node), eventq(eq), network(net),
+          serviceLatency(service_latency)
+    {}
+
+    /** Handle one TidReq; replies with the next gap-free TID. */
+    void
+    receive(const Message &msg)
+    {
+        const Tick start = std::max(eventq.now(), busyUntil);
+        busyUntil = start + serviceLatency;
+        const Tid t = nextTid++;
+        Message reply;
+        reply.type = MsgType::TidReply;
+        reply.src = nodeId;
+        reply.dst = msg.src;
+        reply.tid = t;
+        reply.bytes = msgBytes(MsgType::TidReply, 0);
+        eventq.scheduleAt(busyUntil, [this, reply]() {
+            network.send(reply);
+        });
+    }
+
+    /** Total TIDs handed out (== the TID every directory must reach). */
+    Tid issued() const { return nextTid; }
+
+  private:
+    NodeId nodeId;
+    EventQueue &eventq;
+    Network &network;
+    Tick serviceLatency;
+    Tick busyUntil = 0;
+    Tid nextTid = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_PROC_TID_VENDOR_HH

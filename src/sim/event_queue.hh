@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. A single EventQueue drives the whole
+ * simulated machine: processors, directories, network links, and memory
+ * controllers all schedule callbacks on it.
+ *
+ * Determinism: events scheduled for the same tick fire in the order they
+ * were scheduled (FIFO tie-break via a monotonically increasing sequence
+ * number), so a simulation is exactly reproducible for a given seed.
+ */
+
+#ifndef TCC_SIM_EVENT_QUEUE_HH
+#define TCC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tcc {
+
+/**
+ * The central event queue.
+ *
+ * Components schedule std::function callbacks at absolute or relative
+ * ticks. The queue never runs backwards; scheduling in the past is a
+ * simulator bug (panic).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return curTick; }
+
+    /** Schedule @p fn to run @p delay cycles from now. */
+    void
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        scheduleAt(curTick + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn to run at absolute tick @p when. */
+    void
+    scheduleAt(Tick when, std::function<void()> fn)
+    {
+        if (when < curTick)
+            panic("event scheduled in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)curTick);
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    /** @return true iff no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events (diagnostics). */
+    std::size_t pending() const { return heap.size(); }
+
+    /**
+     * Run the earliest event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        // Move the entry out before popping so the callback may schedule.
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        curTick = e.when;
+        e.fn();
+        ++executedEvents;
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or time would pass @p limit.
+     * Events at exactly @p limit still execute.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t n = 0;
+        while (!heap.empty() && heap.top().when <= limit) {
+            step();
+            ++n;
+        }
+        if (curTick < limit && heap.empty())
+            curTick = limit;
+        return n;
+    }
+
+    /** Run until the queue is completely drained. */
+    std::uint64_t
+    run()
+    {
+        std::uint64_t n = 0;
+        while (step())
+            ++n;
+        return n;
+    }
+
+    /** Total events executed so far (diagnostics / tests). */
+    std::uint64_t executed() const { return executedEvents; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executedEvents = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_SIM_EVENT_QUEUE_HH

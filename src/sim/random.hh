@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic per-component random number generator. Each workload
+ * source and each stochastic component gets its own stream so that
+ * changing one component never perturbs another (a standard simulator
+ * reproducibility idiom).
+ */
+
+#ifndef TCC_SIM_RANDOM_HH
+#define TCC_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace tcc {
+
+/**
+ * SplitMix64-seeded xorshift-star generator: tiny, fast, and good enough
+ * for workload synthesis (we are not doing cryptography).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-seed the stream (SplitMix64 whitening so seed=0,1,2 differ). */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        state = z ^ (z >> 31);
+        if (state == 0)
+            state = 0x2545f4914f6cdd1dull;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Log-normal-ish positive draw with the given median and spread.
+     * Used to produce heavy-tailed transaction sizes whose 90th
+     * percentile matches a calibration target.
+     */
+    double
+    logNormal(double median, double sigma)
+    {
+        // Box-Muller from two uniforms.
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-12)
+            u1 = 1e-12;
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530718 * u2);
+        return median * std::exp(sigma * z);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace tcc
+
+#endif // TCC_SIM_RANDOM_HH

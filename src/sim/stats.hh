@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight statistics: named scalar counters and sampled
+ * distributions with percentile queries. Components own their stats as
+ * plain members; a StatDump helper renders them for reports.
+ */
+
+#ifndef TCC_SIM_STATS_HH
+#define TCC_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+/**
+ * A sampled distribution supporting mean and percentile queries.
+ * Stores every sample; our runs are small enough (tens of thousands of
+ * transactions) that this is the simplest correct choice. Percentile
+ * queries sort lazily.
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        samples.push_back(v);
+        sorted = false;
+    }
+
+    /** Number of samples recorded. */
+    std::size_t count() const { return samples.size(); }
+
+    /** Arithmetic mean, or 0 with no samples. */
+    double
+    mean() const
+    {
+        if (samples.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : samples)
+            s += v;
+        return s / static_cast<double>(samples.size());
+    }
+
+    /** Sum of all samples. */
+    double
+    sum() const
+    {
+        double s = 0.0;
+        for (double v : samples)
+            s += v;
+        return s;
+    }
+
+    /**
+     * The @p p percentile (p in [0,100]) using nearest-rank, or 0 with
+     * no samples. p=90 gives the "90th %" columns of the paper's
+     * Table 3.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples.empty())
+            return 0.0;
+        sortIfNeeded();
+        const double rank = p / 100.0 *
+            static_cast<double>(samples.size() - 1);
+        auto idx = static_cast<std::size_t>(rank + 0.5);
+        if (idx >= samples.size())
+            idx = samples.size() - 1;
+        return samples[idx];
+    }
+
+    /** Largest sample, or 0 with no samples. */
+    double
+    max() const
+    {
+        if (samples.empty())
+            return 0.0;
+        sortIfNeeded();
+        return samples.back();
+    }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        samples.clear();
+        sorted = false;
+    }
+
+    /** Merge all samples of @p other into this distribution. */
+    void
+    merge(const Distribution &other)
+    {
+        samples.insert(samples.end(), other.samples.begin(),
+                       other.samples.end());
+        sorted = false;
+    }
+
+  private:
+    void
+    sortIfNeeded() const
+    {
+        if (!sorted) {
+            std::sort(samples.begin(), samples.end());
+            sorted = true;
+        }
+    }
+
+    mutable std::vector<double> samples;
+    mutable bool sorted = false;
+};
+
+} // namespace tcc
+
+#endif // TCC_SIM_STATS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ScriptedSource: a TransactionSource that plays back an explicit,
+ * pre-built list of transactions. Used by unit tests (protocol
+ * walk-throughs scripting the paper's Figure 2/3 scenarios) and by the
+ * example applications for hand-written transactional kernels.
+ */
+
+#ifndef TCC_WORKLOAD_SCRIPTED_SOURCE_HH
+#define TCC_WORKLOAD_SCRIPTED_SOURCE_HH
+
+#include <utility>
+#include <vector>
+
+#include "workload/transaction_source.hh"
+
+namespace tcc {
+
+/** Plays a fixed list of transactions, then reports done. */
+class ScriptedSource : public TransactionSource
+{
+  public:
+    ScriptedSource() = default;
+
+    explicit ScriptedSource(std::vector<Transaction> txns)
+        : transactions(std::move(txns))
+    {}
+
+    /** Append a transaction built from an op list. */
+    ScriptedSource &
+    add(std::vector<TxOp> ops, bool barrier_before = false)
+    {
+        Transaction t;
+        t.ops = std::move(ops);
+        t.barrierBefore = barrier_before;
+        transactions.push_back(std::move(t));
+        return *this;
+    }
+
+    std::optional<Transaction>
+    nextTransaction() override
+    {
+        if (next >= transactions.size())
+            return std::nullopt;
+        return transactions[next++];
+    }
+
+    void transactionCommitted() override { ++commits; }
+    void transactionViolated() override { ++violations; }
+
+    std::size_t committed() const { return commits; }
+    std::size_t violated() const { return violations; }
+
+  private:
+    std::vector<Transaction> transactions;
+    std::size_t next = 0;
+    std::size_t commits = 0;
+    std::size_t violations = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_WORKLOAD_SCRIPTED_SOURCE_HH

@@ -1,0 +1,106 @@
+#include "workload/trace_source.hh"
+
+#include <cstdint>
+#include <sstream>
+
+namespace tcc {
+
+namespace {
+
+bool
+fail(std::string *error, std::size_t line_no, const std::string &what)
+{
+    if (error) {
+        *error = "trace line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+TraceSource::parse(std::istream &in, std::string *error)
+{
+    transactions.clear();
+    next = 0;
+
+    std::string raw;
+    std::size_t line_no = 0;
+    bool in_txn = false;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments and surrounding whitespace.
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream ls(raw);
+        std::string op;
+        if (!(ls >> op))
+            continue; // blank line
+
+        if (op == "txn") {
+            Transaction t;
+            std::string flag;
+            if (ls >> flag) {
+                if (flag != "barrier")
+                    return fail(error, line_no,
+                                "expected 'barrier', got '" + flag +
+                                    "'");
+                t.barrierBefore = true;
+            }
+            transactions.push_back(std::move(t));
+            in_txn = true;
+            continue;
+        }
+        if (!in_txn)
+            return fail(error, line_no, "directive before first 'txn'");
+
+        auto &ops = transactions.back().ops;
+        if (op == "c") {
+            std::uint64_t n;
+            if (!(ls >> n) || n == 0)
+                return fail(error, line_no, "bad compute count");
+            ops.push_back(TxOp::compute(
+                static_cast<std::uint32_t>(n)));
+        } else if (op == "l") {
+            Addr a;
+            if (!(ls >> std::hex >> a))
+                return fail(error, line_no, "bad load address");
+            ops.push_back(TxOp::load(a));
+        } else if (op == "s") {
+            Addr a;
+            std::uint64_t v;
+            if (!(ls >> std::hex >> a >> std::dec >> v))
+                return fail(error, line_no, "bad store");
+            ops.push_back(TxOp::store(a, v));
+        } else if (op == "a") {
+            Addr a;
+            std::uint64_t d;
+            if (!(ls >> std::hex >> a >> std::dec >> d))
+                return fail(error, line_no, "bad add-store");
+            ops.push_back(TxOp::storeAdd(a, d));
+        } else {
+            return fail(error, line_no,
+                        "unknown directive '" + op + "'");
+        }
+    }
+    return true;
+}
+
+bool
+TraceSource::parseString(const std::string &text, std::string *error)
+{
+    std::istringstream in(text);
+    return parse(in, error);
+}
+
+std::optional<Transaction>
+TraceSource::nextTransaction()
+{
+    if (next >= transactions.size())
+        return std::nullopt;
+    return transactions[next++];
+}
+
+} // namespace tcc

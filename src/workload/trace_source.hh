@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace-driven transaction source: replays transactions from a simple
+ * text format, so users can drive the simulator with traces captured
+ * elsewhere (e.g., from an instrumented application) without writing
+ * C++.
+ *
+ * Format (one directive per line; '#' starts a comment):
+ *
+ *   txn [barrier]      start a new transaction (optionally preceded
+ *                      by a phase barrier)
+ *   c <cycles>         compute
+ *   l <hex-addr>       load
+ *   s <hex-addr> <val> store immediate
+ *   a <hex-addr> <delta> store (last loaded + delta)
+ *
+ * Example:
+ *   txn
+ *   c 120
+ *   l 0x1000
+ *   a 0x1000 1
+ *   txn barrier
+ *   s 0x2000 42
+ */
+
+#ifndef TCC_WORKLOAD_TRACE_SOURCE_HH
+#define TCC_WORKLOAD_TRACE_SOURCE_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/transaction_source.hh"
+
+namespace tcc {
+
+/** Parses and replays the text trace format. */
+class TraceSource : public TransactionSource
+{
+  public:
+    /**
+     * Parse a trace from @p in.
+     * @param error receives a description on parse failure.
+     * @return true on success.
+     */
+    bool parse(std::istream &in, std::string *error = nullptr);
+
+    /** Convenience: parse from a string (tests). */
+    bool parseString(const std::string &text,
+                     std::string *error = nullptr);
+
+    std::optional<Transaction> nextTransaction() override;
+
+    std::size_t numTransactions() const { return transactions.size(); }
+
+  private:
+    std::vector<Transaction> transactions;
+    std::size_t next = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_WORKLOAD_TRACE_SOURCE_HH

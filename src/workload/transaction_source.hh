@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The workload interface: a TransactionSource feeds one processor a
+ * stream of transactions. Each transaction is a replayable list of
+ * abstract operations; on a violation the processor re-executes the
+ * same list (lazy TM semantics: the transaction restarts from its
+ * checkpoint and re-observes the now-newer committed state).
+ *
+ * The operation vocabulary is deliberately tiny but expressive enough
+ * for read-modify-write workloads (so the serializability checker has
+ * real data dependences to verify):
+ *
+ *   Compute n        burn n cycles (CPI=1 instructions)
+ *   Load a           read word a; remembers the value ("last loaded")
+ *   Store a, v       speculatively write immediate v to word a
+ *   StoreAdd a, d    speculatively write (lastLoaded + d) to word a
+ */
+
+#ifndef TCC_WORKLOAD_TRANSACTION_SOURCE_HH
+#define TCC_WORKLOAD_TRANSACTION_SOURCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcc {
+
+/** One abstract operation inside a transaction. */
+struct TxOp {
+    enum class Kind : std::uint8_t { Compute, Load, Store, StoreAdd };
+
+    Kind kind = Kind::Compute;
+    /** Compute: cycle count. */
+    std::uint32_t cycles = 0;
+    /** Load/Store/StoreAdd: word address. */
+    Addr addr = 0;
+    /** Store: immediate value; StoreAdd: delta added to lastLoaded. */
+    std::uint64_t value = 0;
+    /**
+     * Load: when set, the load's observed value must equal @ref value;
+     * a mismatch rolls the transaction back so its source can
+     * regenerate the operation stream against the newer state. Used by
+     * TxProgramSource (closure-based transactions whose control flow
+     * depends on loaded values).
+     */
+    bool validateValue = false;
+
+    static TxOp
+    compute(std::uint32_t n)
+    {
+        TxOp op;
+        op.kind = Kind::Compute;
+        op.cycles = n;
+        return op;
+    }
+
+    static TxOp
+    load(Addr a)
+    {
+        TxOp op;
+        op.kind = Kind::Load;
+        op.addr = a;
+        return op;
+    }
+
+    /** Load that self-violates unless it observes @p expect. */
+    static TxOp
+    loadExpect(Addr a, std::uint64_t expect)
+    {
+        TxOp op;
+        op.kind = Kind::Load;
+        op.addr = a;
+        op.value = expect;
+        op.validateValue = true;
+        return op;
+    }
+
+    static TxOp
+    store(Addr a, std::uint64_t v)
+    {
+        TxOp op;
+        op.kind = Kind::Store;
+        op.addr = a;
+        op.value = v;
+        return op;
+    }
+
+    static TxOp
+    storeAdd(Addr a, std::uint64_t delta)
+    {
+        TxOp op;
+        op.kind = Kind::StoreAdd;
+        op.addr = a;
+        op.value = delta;
+        return op;
+    }
+};
+
+/** A replayable transaction. */
+struct Transaction {
+    std::vector<TxOp> ops;
+    /** Wait at the phase barrier before starting this transaction. */
+    bool barrierBefore = false;
+};
+
+/**
+ * Per-processor transaction stream. Implementations must be
+ * deterministic: the processor may request each transaction exactly
+ * once and replays the returned op list on every violation.
+ */
+class TransactionSource
+{
+  public:
+    virtual ~TransactionSource() = default;
+
+    /** Next transaction, or std::nullopt when this thread is done. */
+    virtual std::optional<Transaction> nextTransaction() = 0;
+
+    /** Notification that the last transaction committed. */
+    virtual void transactionCommitted() {}
+
+    /** Notification that the current transaction violated (will rerun). */
+    virtual void transactionViolated() {}
+
+    /**
+     * Called by the processor before re-running a violated
+     * transaction. Sources whose operation streams depend on loaded
+     * values (TxProgramSource) return a fresh op list generated
+     * against the current committed state; plain sources return
+     * std::nullopt and the processor replays the original list.
+     */
+    virtual std::optional<std::vector<TxOp>> regenerateOps()
+    {
+        return std::nullopt;
+    }
+};
+
+} // namespace tcc
+
+#endif // TCC_WORKLOAD_TRANSACTION_SOURCE_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * TxProgram: a closure-based transactional programming model on top of
+ * the Scalable TCC simulator - the programmer-facing "atomic { ... }"
+ * abstraction the TCC papers advocate.
+ *
+ * Users enqueue C++ lambdas that manipulate shared memory through a
+ * TxContext:
+ *
+ *   TxProgramSource src(sys.memory());
+ *   src.atomic([](TxContext &tx) {
+ *       auto head = tx.load(kHead);           // transactional read
+ *       if (head != kNil) {
+ *           auto next = tx.load(nodeNext(head));
+ *           tx.store(kHead, next);            // transactional write
+ *           tx.compute(120);                  // process the element
+ *       }
+ *   });
+ *
+ * Execution model: the body runs *at transaction-generation time*
+ * against the committed state, recording an operation stream. Every
+ * value the body observed is embedded as a validated load
+ * (TxOp::loadExpect): if, by the time the processor consumes the load,
+ * a conflicting commit changed the value, the transaction rolls back
+ * and the body is re-run against the newer state (regenerateOps).
+ * Combined with the protocol's own conflict detection this gives the
+ * closure true serializable semantics, including data-dependent
+ * control flow and computed addresses. Livelock freedom is inherited
+ * from the protocol: repeated rollbacks trigger TID aging, which
+ * stalls younger commits until the victim completes.
+ */
+
+#ifndef TCC_WORKLOAD_TX_PROGRAM_HH
+#define TCC_WORKLOAD_TX_PROGRAM_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mem/global_store.hh"
+#include "workload/transaction_source.hh"
+
+namespace tcc {
+
+/** The handle a transaction body uses to touch shared memory. */
+class TxContext
+{
+  public:
+    /**
+     * Transactional read of the word at @p addr. Returns the
+     * transaction's own pending write if any, else the committed
+     * value, and records a validated load.
+     */
+    std::uint64_t
+    load(Addr addr)
+    {
+        const Addr w = GlobalStore::wordAlign(addr);
+        auto it = localWrites.find(w);
+        if (it != localWrites.end()) {
+            // Reading our own pending write needs no validation.
+            ops.push_back(TxOp::load(w));
+            return it->second;
+        }
+        const std::uint64_t v = mem.read(w);
+        ops.push_back(TxOp::loadExpect(w, v));
+        return v;
+    }
+
+    /** Transactional write of @p value to the word at @p addr. */
+    void
+    store(Addr addr, std::uint64_t value)
+    {
+        const Addr w = GlobalStore::wordAlign(addr);
+        localWrites[w] = value;
+        ops.push_back(TxOp::store(w, value));
+    }
+
+    /** Model @p cycles of computation inside the transaction. */
+    void
+    compute(std::uint32_t cycles)
+    {
+        if (cycles > 0)
+            ops.push_back(TxOp::compute(cycles));
+    }
+
+  private:
+    friend class TxProgramSource;
+
+    explicit TxContext(const GlobalStore &m) : mem(m) {}
+
+    const GlobalStore &mem;
+    std::unordered_map<Addr, std::uint64_t> localWrites;
+    std::vector<TxOp> ops;
+};
+
+/**
+ * A TransactionSource fed by atomic closures. Bodies are executed
+ * lazily (at dispatch and on every rollback) against the current
+ * committed state.
+ */
+class TxProgramSource : public TransactionSource
+{
+  public:
+    using Body = std::function<void(TxContext &)>;
+
+    explicit TxProgramSource(const GlobalStore &mem) : memory(mem) {}
+
+    /** Enqueue one atomic region. */
+    TxProgramSource &
+    atomic(Body body, bool barrier_before = false)
+    {
+        queue.push_back(Entry{std::move(body), barrier_before});
+        return *this;
+    }
+
+    std::optional<Transaction>
+    nextTransaction() override
+    {
+        if (queue.empty()) {
+            current = nullptr;
+            return std::nullopt;
+        }
+        Entry &e = queue.front();
+        current = &e;
+        Transaction txn;
+        txn.barrierBefore = e.barrierBefore;
+        txn.ops = runBody(e.body);
+        return txn;
+    }
+
+    std::optional<std::vector<TxOp>>
+    regenerateOps() override
+    {
+        if (!current)
+            return std::nullopt;
+        ++regenerations;
+        return runBody(current->body);
+    }
+
+    void
+    transactionCommitted() override
+    {
+        ++commits;
+        current = nullptr;
+        if (!queue.empty())
+            queue.pop_front();
+    }
+
+    void transactionViolated() override { ++violations; }
+
+    std::uint64_t committed() const { return commits; }
+    std::uint64_t violated() const { return violations; }
+    std::uint64_t regenerated() const { return regenerations; }
+
+  private:
+    struct Entry {
+        Body body;
+        bool barrierBefore;
+    };
+
+    std::vector<TxOp>
+    runBody(const Body &body)
+    {
+        TxContext ctx(memory);
+        body(ctx);
+        return std::move(ctx.ops);
+    }
+
+    const GlobalStore &memory;
+    std::deque<Entry> queue;
+    Entry *current = nullptr;
+    std::uint64_t commits = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t regenerations = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_WORKLOAD_TX_PROGRAM_HH

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Direct unit tests of the Directory controller: NSTID / Skip Vector
+ * sequencing (the paper's Figure 5 walk-through), probe deferral,
+ * mark/commit/invalidate/ack flow, aborts, stale write-back dropping
+ * (Section 3.3 race elimination), and load stalling on marked lines.
+ *
+ * The directory is driven by hand-crafted messages over an
+ * IdealNetwork; a test fixture captures everything the directory sends
+ * to each node.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "directory/directory.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+
+namespace tcc {
+namespace {
+
+class DirectoryTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::uint32_t kNodes = 4;
+    static constexpr NodeId kDir = 0;
+
+    DirectoryTest()
+        : net(eq, kNodes),
+          dir(kDir, kNodes, eq, net, DirectoryConfig{})
+    {
+        for (NodeId n = 0; n < kNodes; ++n) {
+            net.connect(n, [this, n](const Message &m) {
+                if (n == kDir) {
+                    dir.receive(m);
+                } else {
+                    inbox[n].push_back(m);
+                }
+            });
+        }
+    }
+
+    /** Send @p msg to the directory and run the queue dry. */
+    void
+    send(Message msg)
+    {
+        msg.dst = kDir;
+        msg.bytes = 16;
+        net.send(msg);
+        eq.run();
+    }
+
+    Message
+    mk(MsgType t, NodeId src, Tid tid = kInvalidTid, Addr addr = 0)
+    {
+        Message m;
+        m.type = t;
+        m.src = src;
+        m.tid = tid;
+        m.addr = addr;
+        m.wordMask = ~0ull;
+        return m;
+    }
+
+    /** Pop all messages of a given type delivered to @p node. */
+    std::vector<Message>
+    take(NodeId node, MsgType t)
+    {
+        std::vector<Message> out;
+        auto &box = inbox[node];
+        for (auto it = box.begin(); it != box.end();) {
+            if (it->type == t) {
+                out.push_back(*it);
+                it = box.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return out;
+    }
+
+    EventQueue eq;
+    IdealNetwork net;
+    Directory dir;
+    std::map<NodeId, std::vector<Message>> inbox;
+};
+
+TEST_F(DirectoryTest, StartsServingTidZero)
+{
+    EXPECT_EQ(dir.nstid(), 0u);
+}
+
+TEST_F(DirectoryTest, SkipAdvancesNstid)
+{
+    send(mk(MsgType::Skip, 1, 0));
+    EXPECT_EQ(dir.nstid(), 1u);
+}
+
+TEST_F(DirectoryTest, SkipVectorBuffersOutOfOrderSkips)
+{
+    // Figure 5: skips for TIDs 1, 2, 4 arrive while 0 is outstanding.
+    send(mk(MsgType::Skip, 1, 1));
+    send(mk(MsgType::Skip, 2, 2));
+    send(mk(MsgType::Skip, 3, 4));
+    EXPECT_EQ(dir.nstid(), 0u);
+    // When 0 is finally skipped the vector shifts through 1 and 2 but
+    // stops at the hole at 3.
+    send(mk(MsgType::Skip, 1, 0));
+    EXPECT_EQ(dir.nstid(), 3u);
+    send(mk(MsgType::Skip, 2, 3));
+    EXPECT_EQ(dir.nstid(), 5u);
+}
+
+TEST_F(DirectoryTest, EarlyProbeAnswersImmediately)
+{
+    send(mk(MsgType::Probe, 1)); // tid == kInvalidTid
+    auto replies = take(1, MsgType::ProbeReply);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].nstid, 0u);
+}
+
+TEST_F(DirectoryTest, WriteProbeDeferredUntilServed)
+{
+    auto p = mk(MsgType::Probe, 1, 2);
+    p.wantWrite = true;
+    send(p);
+    EXPECT_TRUE(take(1, MsgType::ProbeReply).empty());
+    EXPECT_EQ(dir.stats().probesDeferred, 1u);
+
+    send(mk(MsgType::Skip, 2, 0));
+    send(mk(MsgType::Skip, 2, 1));
+    auto replies = take(1, MsgType::ProbeReply);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].nstid, 2u);
+    EXPECT_EQ(replies[0].tid, 2u);
+}
+
+TEST_F(DirectoryTest, ReadProbeReleasedWhenNstidPasses)
+{
+    auto p = mk(MsgType::Probe, 1, 1);
+    p.wantWrite = false;
+    send(p);
+    EXPECT_TRUE(take(1, MsgType::ProbeReply).empty());
+    send(mk(MsgType::Skip, 2, 0));
+    auto replies = take(1, MsgType::ProbeReply);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_GE(replies[0].nstid, 1u);
+}
+
+TEST_F(DirectoryTest, CommitUpgradesMarkedLinesAndInvalidatesSharers)
+{
+    // Nodes 1 and 2 load line 0x100 -> both become sharers.
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    EXPECT_EQ(take(1, MsgType::LoadReply).size(), 1u);
+    EXPECT_EQ(take(2, MsgType::LoadReply).size(), 1u);
+
+    // Node 1 commits TID 0 writing line 0x100.
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+
+    // Node 2 must be invalidated; NSTID must NOT advance until the
+    // ack arrives (race elimination).
+    auto invs = take(2, MsgType::Inv);
+    ASSERT_EQ(invs.size(), 1u);
+    EXPECT_EQ(invs[0].addr, 0x100u);
+    EXPECT_EQ(invs[0].tid, 0u);
+    EXPECT_EQ(dir.nstid(), 0u);
+
+    send(mk(MsgType::InvAck, 2, 0, 0x100));
+    EXPECT_EQ(dir.nstid(), 1u);
+    EXPECT_EQ(dir.stats().commitsServed, 1u);
+    EXPECT_TRUE(dir.quiesced());
+}
+
+TEST_F(DirectoryTest, CommitterIsNotInvalidated)
+{
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+    EXPECT_TRUE(take(1, MsgType::Inv).empty());
+    EXPECT_EQ(dir.nstid(), 1u); // no sharers to ack
+}
+
+TEST_F(DirectoryTest, CommitWaitsForLateMarks)
+{
+    // Commit arrives claiming 2 marks but only 1 has landed.
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 2;
+    send(c);
+    EXPECT_EQ(dir.nstid(), 0u);
+    EXPECT_EQ(dir.stats().commitsServed, 0u);
+    send(mk(MsgType::Mark, 1, 0, 0x120));
+    EXPECT_EQ(dir.nstid(), 1u);
+    EXPECT_EQ(dir.stats().commitsServed, 1u);
+}
+
+TEST_F(DirectoryTest, LoadToMarkedLineStallsUntilCommit)
+{
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    EXPECT_TRUE(take(2, MsgType::LoadReply).empty());
+    EXPECT_EQ(dir.stats().loadsStalled, 1u);
+
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+    // After the commit the line is owned by node 1, so the stalled
+    // load is served through a DataReq to the new owner.
+    auto reqs = take(1, MsgType::DataReq);
+    ASSERT_EQ(reqs.size(), 1u);
+    auto f = mk(MsgType::FlushData, 1, kInvalidTid, 0x100);
+    f.hadData = true;
+    send(f);
+    EXPECT_EQ(take(2, MsgType::LoadReply).size(), 1u);
+}
+
+TEST_F(DirectoryTest, AbortClearsMarksAndRetiresTid)
+{
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    EXPECT_TRUE(take(2, MsgType::LoadReply).empty());
+
+    send(mk(MsgType::Abort, 1, 0));
+    EXPECT_EQ(dir.nstid(), 1u);
+    EXPECT_EQ(dir.stats().abortsServed, 1u);
+    // The stalled load is released and served from memory.
+    EXPECT_EQ(take(2, MsgType::LoadReply).size(), 1u);
+    EXPECT_TRUE(dir.quiesced());
+}
+
+TEST_F(DirectoryTest, AbortForFutureTidActsAsSkip)
+{
+    send(mk(MsgType::Abort, 1, 2));
+    EXPECT_EQ(dir.nstid(), 0u);
+    send(mk(MsgType::Skip, 1, 0));
+    send(mk(MsgType::Skip, 1, 1));
+    EXPECT_EQ(dir.nstid(), 3u); // 2 was pre-retired by the abort
+}
+
+TEST_F(DirectoryTest, StaleWriteBackIsDropped)
+{
+    // Node 1 commits line 0x100 at TID 0, then node 2 commits the same
+    // line at TID 1. A write-back tagged TID 0 arriving afterwards is
+    // stale and must be dropped (Section 3.3).
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c0 = mk(MsgType::Commit, 1, 0);
+    c0.numMarks = 1;
+    send(c0);
+
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    take(1, MsgType::DataReq);
+    auto f = mk(MsgType::FlushData, 1, kInvalidTid, 0x100);
+    f.hadData = true;
+    send(f);
+    take(2, MsgType::LoadReply);
+
+    send(mk(MsgType::Mark, 2, 1, 0x100));
+    auto c1 = mk(MsgType::Commit, 2, 1);
+    c1.numMarks = 1;
+    send(c1);
+    // Node 1 still shares the line; ack its invalidation.
+    take(1, MsgType::Inv);
+    send(mk(MsgType::InvAck, 1, 1, 0x100));
+    EXPECT_EQ(dir.nstid(), 2u);
+
+    auto wb_stale = mk(MsgType::WriteBack, 1, 0, 0x100);
+    send(wb_stale);
+    EXPECT_EQ(dir.stats().writeBacksDropped, 1u);
+
+    auto wb_fresh = mk(MsgType::WriteBack, 2, 1, 0x100);
+    send(wb_fresh);
+    EXPECT_EQ(dir.stats().writeBacksAccepted, 1u);
+}
+
+TEST_F(DirectoryTest, KeepSharerAckStaysInSharersList)
+{
+    // Nodes 1 and 2 share line 0x100; node 1 commits word 0 only.
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    take(2, MsgType::LoadReply);
+
+    auto m = mk(MsgType::Mark, 1, 0, 0x100);
+    m.wordMask = 0x1;
+    send(m);
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+    take(2, MsgType::Inv);
+    // Node 2 acks but asks to remain a sharer (it still reads word 3).
+    auto ack = mk(MsgType::InvAck, 2, 0, 0x100);
+    ack.keepSharer = true;
+    send(ack);
+    EXPECT_EQ(dir.nstid(), 1u);
+
+    // A second commit by node 1 must invalidate node 2 again.
+    auto m2 = mk(MsgType::Mark, 1, 1, 0x100);
+    m2.wordMask = 0x8;
+    send(m2);
+    auto c2 = mk(MsgType::Commit, 1, 1);
+    c2.numMarks = 1;
+    send(c2);
+    EXPECT_EQ(take(2, MsgType::Inv).size(), 1u);
+    send(mk(MsgType::InvAck, 2, 1, 0x100));
+    EXPECT_EQ(dir.nstid(), 2u);
+}
+
+TEST_F(DirectoryTest, DataReqHadNoDataWaitsForWriteBack)
+{
+    // Node 1 owns line 0x100.
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+
+    // Node 2 loads; directory forwards to the owner, who already
+    // evicted (write-back in flight).
+    send(mk(MsgType::LoadReq, 2, kInvalidTid, 0x100));
+    take(1, MsgType::DataReq);
+    auto f = mk(MsgType::FlushData, 1, kInvalidTid, 0x100);
+    f.hadData = false;
+    send(f);
+    EXPECT_TRUE(take(2, MsgType::LoadReply).empty());
+
+    // The write-back lands: the stalled load is finally served.
+    send(mk(MsgType::WriteBack, 1, 0, 0x100));
+    EXPECT_EQ(take(2, MsgType::LoadReply).size(), 1u);
+    EXPECT_TRUE(dir.quiesced());
+}
+
+TEST_F(DirectoryTest, OwnerLoadOfPartialLineServedFromMemory)
+{
+    // Node 1 owns the line but lost some words to an unrelated
+    // invalidation before committing; its own fill request must be
+    // served from memory rather than deadlocking on a write-back.
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    EXPECT_EQ(take(1, MsgType::LoadReply).size(), 1u);
+    EXPECT_TRUE(dir.quiesced());
+}
+
+TEST_F(DirectoryTest, OccupancyAndWorkingSetAreSampled)
+{
+    send(mk(MsgType::LoadReq, 1, kInvalidTid, 0x100));
+    take(1, MsgType::LoadReply);
+    send(mk(MsgType::Mark, 1, 0, 0x100));
+    auto c = mk(MsgType::Commit, 1, 0);
+    c.numMarks = 1;
+    send(c);
+    EXPECT_EQ(dir.stats().commitOccupancy.count(), 1u);
+    EXPECT_EQ(dir.stats().workingSet.count(), 1u);
+    EXPECT_GT(dir.stats().commitOccupancy.mean(), 0.0);
+}
+
+TEST_F(DirectoryTest, SkipForRetiredTidPanics)
+{
+    send(mk(MsgType::Skip, 1, 0));
+    EXPECT_DEATH(send(mk(MsgType::Skip, 1, 0)), "retired");
+}
+
+} // namespace
+} // namespace tcc

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the remaining support modules: home mapping
+ * (first-touch, interleave, explicit binding), the global store, the
+ * serializability checker itself, message helpers, and the report
+ * renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/serial_checker.hh"
+#include "core/report.hh"
+#include "mem/global_store.hh"
+#include "mem/home_map.hh"
+#include "noc/message.hh"
+
+namespace tcc {
+namespace {
+
+// ---------------------------------------------------------------------
+// HomeMap
+// ---------------------------------------------------------------------
+
+TEST(HomeMap, InterleaveIsPageModulo)
+{
+    HomeMap hm(4, HomePolicy::Interleave, 4096);
+    EXPECT_EQ(hm.homeOf(0x0000, 9), 0u);
+    EXPECT_EQ(hm.homeOf(0x1000, 9), 1u);
+    EXPECT_EQ(hm.homeOf(0x4000, 9), 0u);
+    EXPECT_EQ(hm.homeOf(0x1FFF, 9), 1u); // same page as 0x1000
+}
+
+TEST(HomeMap, FirstTouchBindsToToucher)
+{
+    HomeMap hm(4, HomePolicy::FirstTouch, 4096);
+    EXPECT_EQ(hm.homeOf(0x5000, 2), 2u);
+    // Later touches by other nodes see the original binding.
+    EXPECT_EQ(hm.homeOf(0x5004, 3), 2u);
+    EXPECT_EQ(hm.homeOf(0x5000), 2u);
+}
+
+TEST(HomeMap, ExplicitBindOverridesFirstTouch)
+{
+    HomeMap hm(4, HomePolicy::FirstTouch, 4096);
+    hm.bind(0x8000, 3);
+    EXPECT_EQ(hm.homeOf(0x8000, 0), 3u);
+}
+
+TEST(HomeMap, BindIsNoopUnderInterleave)
+{
+    HomeMap hm(4, HomePolicy::Interleave, 4096);
+    hm.bind(0x1000, 3);
+    EXPECT_EQ(hm.homeOf(0x1000, 0), 1u);
+}
+
+// ---------------------------------------------------------------------
+// GlobalStore
+// ---------------------------------------------------------------------
+
+TEST(GlobalStore, DefaultsToZero)
+{
+    GlobalStore gs;
+    EXPECT_EQ(gs.read(0x1234), 0u);
+}
+
+TEST(GlobalStore, WordAlignedReadWrite)
+{
+    GlobalStore gs;
+    gs.write(0x1000, 99);
+    EXPECT_EQ(gs.read(0x1000), 99u);
+    EXPECT_EQ(gs.read(0x1002), 99u); // same word
+    EXPECT_EQ(gs.read(0x1004), 0u);  // next word
+    EXPECT_EQ(gs.footprint(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// SerialChecker
+// ---------------------------------------------------------------------
+
+TEST(SerialChecker, EmptyLogVerifies)
+{
+    SerialChecker c;
+    EXPECT_TRUE(c.verify().ok);
+}
+
+TEST(SerialChecker, ConsistentChainPasses)
+{
+    SerialChecker c;
+    c.record(0, 0, {}, {{0x100, 1}});
+    c.record(1, 1, {{0x100, 1}}, {{0x100, 2}});
+    c.record(2, 0, {{0x100, 2}}, {{0x200, 7}});
+    auto r = c.verify();
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.txnsChecked, 3u);
+}
+
+TEST(SerialChecker, StaleReadDetected)
+{
+    SerialChecker c;
+    c.record(0, 0, {}, {{0x100, 1}});
+    c.record(1, 1, {{0x100, 0}}, {{0x100, 2}}); // read missed TID 0
+    EXPECT_FALSE(c.verify().ok);
+}
+
+TEST(SerialChecker, DuplicateTidDetected)
+{
+    SerialChecker c;
+    c.record(5, 0, {}, {{0x100, 1}});
+    c.record(5, 1, {}, {{0x100, 2}});
+    auto r = c.verify();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(SerialChecker, OutOfOrderRecordingIsFine)
+{
+    // Commits are recorded in wall-clock order, which need not match
+    // TID order; the checker must sort.
+    SerialChecker c;
+    c.record(1, 1, {{0x100, 1}}, {{0x100, 2}});
+    c.record(0, 0, {}, {{0x100, 1}});
+    EXPECT_TRUE(c.verify().ok);
+}
+
+TEST(SerialChecker, InitialStateRespected)
+{
+    SerialChecker c;
+    c.setInitial(0x100, 50);
+    c.record(0, 0, {{0x100, 50}}, {{0x100, 51}});
+    EXPECT_TRUE(c.verify().ok);
+    auto final_state = c.replayFinalState();
+    EXPECT_EQ(final_state[0x100], 51u);
+}
+
+TEST(SerialChecker, GapsInTidsAreFine)
+{
+    // Aborted attempts consume TIDs; the committed sequence has gaps.
+    SerialChecker c;
+    c.record(0, 0, {}, {{0x100, 1}});
+    c.record(7, 1, {{0x100, 1}}, {{0x100, 2}});
+    EXPECT_TRUE(c.verify().ok);
+}
+
+// ---------------------------------------------------------------------
+// Message helpers
+// ---------------------------------------------------------------------
+
+TEST(Message, SizesDependOnClass)
+{
+    EXPECT_EQ(msgBytes(MsgType::Skip, 32), 8u);
+    EXPECT_EQ(msgBytes(MsgType::LoadReq, 32), 16u);
+    EXPECT_EQ(msgBytes(MsgType::LoadReply, 32), 48u);
+    EXPECT_EQ(msgBytes(MsgType::WriteBack, 64), 80u);
+}
+
+TEST(Message, TrafficClassMapping)
+{
+    EXPECT_EQ(trafficClassOf(MsgType::LoadReq), TrafficClass::Miss);
+    EXPECT_EQ(trafficClassOf(MsgType::LoadReply), TrafficClass::Miss);
+    EXPECT_EQ(trafficClassOf(MsgType::WriteBack),
+              TrafficClass::WriteBack);
+    EXPECT_EQ(trafficClassOf(MsgType::DataReq), TrafficClass::Shared);
+    EXPECT_EQ(trafficClassOf(MsgType::FlushData),
+              TrafficClass::Shared);
+    EXPECT_EQ(trafficClassOf(MsgType::Skip), TrafficClass::Overhead);
+    EXPECT_EQ(trafficClassOf(MsgType::Probe), TrafficClass::Overhead);
+}
+
+TEST(Message, NamesAreStable)
+{
+    EXPECT_STREQ(msgTypeName(MsgType::Commit), "Commit");
+    EXPECT_STREQ(msgTypeName(MsgType::PartialCommit), "PartialCommit");
+    Message m;
+    m.type = MsgType::Mark;
+    m.src = 1;
+    m.dst = 2;
+    m.addr = 0x40;
+    m.tid = 7;
+    EXPECT_NE(m.toString().find("Mark"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Report renderers
+// ---------------------------------------------------------------------
+
+TEST(Report, BreakdownFractionsSumToOne)
+{
+    Breakdown bd;
+    bd.useful = 50;
+    bd.miss = 30;
+    bd.commit = 10;
+    bd.idle = 5;
+    bd.violation = 5;
+    EXPECT_EQ(bd.total(), 100u);
+    const double sum =
+        bd.fraction(bd.useful) + bd.fraction(bd.miss) +
+        bd.fraction(bd.commit) + bd.fraction(bd.idle) +
+        bd.fraction(bd.violation);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Report, EmptyBreakdownIsSafe)
+{
+    Breakdown bd;
+    EXPECT_EQ(bd.total(), 0u);
+    EXPECT_DOUBLE_EQ(bd.fraction(bd.useful), 0.0);
+    // Renders without dividing by zero.
+    auto row = breakdownRow("empty", bd);
+    EXPECT_FALSE(row.empty());
+}
+
+TEST(Report, RowsContainAppName)
+{
+    AppCharacterization c;
+    c.name = "myapp";
+    c.txnSize90 = 1234;
+    auto row = table3Row(c);
+    EXPECT_NE(row.find("myapp"), std::string::npos);
+
+    TrafficRow t;
+    t.name = "myapp";
+    t.miss = 0.5;
+    EXPECT_NE(trafficRowText(t).find("myapp"), std::string::npos);
+    EXPECT_DOUBLE_EQ(t.total(), 0.5);
+}
+
+} // namespace
+} // namespace tcc

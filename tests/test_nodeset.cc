@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for NodeSet (directory sharers lists, sharing/writing
+ * vectors).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/nodeset.hh"
+
+namespace tcc {
+namespace {
+
+TEST(NodeSet, StartsEmpty)
+{
+    NodeSet s(64);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    for (NodeId n = 0; n < 64; ++n)
+        EXPECT_FALSE(s.test(n));
+}
+
+TEST(NodeSet, SetClearTest)
+{
+    NodeSet s(32);
+    s.set(5);
+    s.set(31);
+    EXPECT_TRUE(s.test(5));
+    EXPECT_TRUE(s.test(31));
+    EXPECT_FALSE(s.test(6));
+    EXPECT_EQ(s.count(), 2u);
+    s.clear(5);
+    EXPECT_FALSE(s.test(5));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(NodeSet, WorksAcrossWordBoundary)
+{
+    NodeSet s(130);
+    s.set(63);
+    s.set(64);
+    s.set(129);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.toVector(), (std::vector<NodeId>{63, 64, 129}));
+}
+
+TEST(NodeSet, ForEachInOrder)
+{
+    NodeSet s(16);
+    s.set(14);
+    s.set(2);
+    s.set(7);
+    std::vector<NodeId> seen;
+    s.forEach([&](NodeId n) { seen.push_back(n); });
+    EXPECT_EQ(seen, (std::vector<NodeId>{2, 7, 14}));
+}
+
+TEST(NodeSet, ClearAll)
+{
+    NodeSet s(16);
+    for (NodeId n = 0; n < 16; ++n)
+        s.set(n);
+    EXPECT_EQ(s.count(), 16u);
+    s.clearAll();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, SetIsIdempotent)
+{
+    NodeSet s(8);
+    s.set(3);
+    s.set(3);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(NodeSet, Equality)
+{
+    NodeSet a(8), b(8);
+    a.set(1);
+    b.set(1);
+    EXPECT_TRUE(a == b);
+    b.set(2);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace tcc
