@@ -1,0 +1,25 @@
+# Validate the schema of a BENCH_kernel.json emitted by bench_kernel:
+# required top-level numeric fields plus a config object. Run as
+#   cmake -DJSON_FILE=<path> -P validate_bench_json.cmake
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "pass -DJSON_FILE=<path>")
+endif()
+file(READ "${JSON_FILE}" doc)
+
+foreach(key events_per_sec cycles_per_sec)
+  string(JSON val ERROR_VARIABLE err GET "${doc}" "${key}")
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
+  endif()
+  if(NOT val MATCHES "^[0-9]+(\\.[0-9]+)?$")
+    message(FATAL_ERROR
+            "${JSON_FILE}: key '${key}' is not numeric: '${val}'")
+  endif()
+endforeach()
+
+string(JSON cfg_type ERROR_VARIABLE err TYPE "${doc}" config)
+if(err OR NOT cfg_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "${JSON_FILE}: 'config' must be an object")
+endif()
+
+message(STATUS "${JSON_FILE}: schema OK")

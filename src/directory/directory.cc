@@ -12,6 +12,11 @@ Directory::Directory(NodeId node, std::uint32_t num_nodes,
     : nodeId(node), numNodes(num_nodes), eventq(eq), network(net),
       config(cfg)
 {
+    // Size the entry map up front: with a directory cache configured
+    // its LRU bounds the hot set; otherwise start with a generous
+    // default so steady-state inserts never rehash.
+    entries.reserve(config.dirCacheEntries != 0 ? config.dirCacheEntries
+                                                : 1024);
 }
 
 Directory::Entry &
@@ -106,22 +111,27 @@ Directory::receive(const Message &msg)
     if (pending.active)
         pending.serviceCycles += cost;
 
-    eventq.scheduleAt(busyUntil, [this, msg]() {
-        switch (msg.type) {
-          case MsgType::LoadReq: handleLoad(msg); break;
-          case MsgType::Skip: handleSkip(msg); break;
-          case MsgType::Probe: handleProbe(msg); break;
-          case MsgType::Mark: handleMark(msg); break;
-          case MsgType::Commit: handleCommit(msg); break;
-          case MsgType::PartialCommit: handlePartialCommit(msg); break;
-          case MsgType::Abort: handleAbort(msg); break;
-          case MsgType::WriteBack: handleWriteBack(msg); break;
-          case MsgType::FlushData: handleFlushData(msg); break;
-          case MsgType::InvAck: handleInvAck(msg); break;
+    // Park the message in the pool for the occupancy delay; capturing
+    // {this, slot} keeps the event inside the queue's inline storage.
+    Message *slot = msgPool.alloc(msg);
+    eventq.scheduleAt(busyUntil, [this, slot]() {
+        const Message &m = *slot;
+        switch (m.type) {
+          case MsgType::LoadReq: handleLoad(m); break;
+          case MsgType::Skip: handleSkip(m); break;
+          case MsgType::Probe: handleProbe(m); break;
+          case MsgType::Mark: handleMark(m); break;
+          case MsgType::Commit: handleCommit(m); break;
+          case MsgType::PartialCommit: handlePartialCommit(m); break;
+          case MsgType::Abort: handleAbort(m); break;
+          case MsgType::WriteBack: handleWriteBack(m); break;
+          case MsgType::FlushData: handleFlushData(m); break;
+          case MsgType::InvAck: handleInvAck(m); break;
           default:
             panic("directory %u got unexpected %s", nodeId,
-                  msgTypeName(msg.type));
+                  msgTypeName(m.type));
         }
+        msgPool.free(slot);
     });
 }
 
@@ -176,14 +186,15 @@ Directory::replyFromMemory(NodeId requester, Addr lineAddr)
            (unsigned long long)eventq.now(), nodeId,
            (unsigned long long)lineAddr, requester);
 
-    Message reply;
-    reply.type = MsgType::LoadReply;
-    reply.dst = requester;
-    reply.addr = lineAddr;
-    reply.src = nodeId;
-    reply.bytes = sizeOf(MsgType::LoadReply);
-    // Main-memory access latency before the data leaves the node.
-    eventq.schedule(config.memLatency, [this, reply]() {
+    // Main-memory access latency before the data leaves the node. The
+    // reply is built inside the event so the capture stays inline.
+    eventq.schedule(config.memLatency, [this, requester, lineAddr]() {
+        Message reply;
+        reply.type = MsgType::LoadReply;
+        reply.dst = requester;
+        reply.addr = lineAddr;
+        reply.src = nodeId;
+        reply.bytes = sizeOf(MsgType::LoadReply);
         network.send(reply);
     });
 }

@@ -34,6 +34,7 @@
 #include "mem/home_map.hh"
 #include "noc/network.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace tcc {
@@ -223,6 +224,10 @@ class Directory
 
     /** Single-server occupancy model. */
     Tick busyUntil = 0;
+
+    /** Slab for messages parked during the occupancy delay, keeping
+     *  the deferred-dispatch event capture inline (no allocation). */
+    ObjectPool<Message> msgPool;
 
     /** Entries that currently have a remote sharer (working set). */
     std::uint64_t remoteSharerEntries = 0;

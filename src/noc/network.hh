@@ -16,6 +16,7 @@
 
 #include "noc/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/random.hh"
 
 namespace tcc {
@@ -90,25 +91,42 @@ class Network
         netStats.nodeBytes.assign(handlers.size(), 0);
     }
 
+    /** In-flight messages currently owned by the pool (diagnostics). */
+    std::size_t messagesInFlight() const { return msgPool.live(); }
+
   protected:
-    /** Deliver @p msg at now + @p delay and account @p hops. */
+    /**
+     * Deliver @p msg at now + @p delay and account @p hops. The message
+     * is parked in a pooled slab for the flight; the deliver event only
+     * captures {this, slot}, so it always fits the event queue's inline
+     * callback storage - no per-hop heap allocation or Message copy
+     * inside a closure. The slot is released right after the handler
+     * returns, so handlers must not retain the reference.
+     */
     void
     deliver(Message msg, Tick delay, unsigned hops)
     {
         netStats.account(msg, hops);
-        const NodeId dst = msg.dst;
-        eventq.schedule(delay, [this, m = std::move(msg), dst]() {
-            if (!handlers[dst])
-                panic("message to unconnected node %u", dst);
-            handlers[dst](m);
-        });
+        Message *slot = msgPool.alloc(std::move(msg));
+        eventq.schedule(delay, [this, slot]() { dispatch(slot); });
     }
 
     EventQueue &eventq;
 
   private:
+    void
+    dispatch(Message *slot)
+    {
+        const NodeId dst = slot->dst;
+        if (!handlers[dst])
+            panic("message to unconnected node %u", dst);
+        handlers[dst](*slot);
+        msgPool.free(slot);
+    }
+
     std::vector<Handler> handlers;
     NetworkStats netStats;
+    ObjectPool<Message> msgPool;
 };
 
 /** Fixed-latency, infinite-bandwidth network for unit tests. */

@@ -16,6 +16,14 @@ TccProcessor::TccProcessor(NodeId node, std::uint32_t num_nodes,
       config(cfg), vendorNode(vendor_node), sharingVec(num_nodes),
       writingVec(num_nodes)
 {
+    // Pre-size the hot per-transaction maps once: clear() keeps the
+    // bucket arrays, so steady-state attempts never rehash.
+    writeBuf.reserve(256);
+    earlyAnswers.reserve(num_nodes);
+    marksCount.reserve(num_nodes);
+    marksDone.reserve(num_nodes);
+    sValidated.reserve(num_nodes);
+    writeSetByDir.reserve(num_nodes);
 }
 
 void

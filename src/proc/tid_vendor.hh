@@ -36,13 +36,16 @@ class TidVendor
         const Tick start = std::max(eventq.now(), busyUntil);
         busyUntil = start + serviceLatency;
         const Tid t = nextTid++;
-        Message reply;
-        reply.type = MsgType::TidReply;
-        reply.src = nodeId;
-        reply.dst = msg.src;
-        reply.tid = t;
-        reply.bytes = msgBytes(MsgType::TidReply, 0);
-        eventq.scheduleAt(busyUntil, [this, reply]() {
+        // Build the reply inside the event: the {this, requester, t}
+        // capture fits the queue's inline callback storage.
+        const NodeId requester = msg.src;
+        eventq.scheduleAt(busyUntil, [this, requester, t]() {
+            Message reply;
+            reply.type = MsgType::TidReply;
+            reply.src = nodeId;
+            reply.dst = requester;
+            reply.tid = t;
+            reply.bytes = msgBytes(MsgType::TidReply, 0);
             network.send(reply);
         });
     }

@@ -7,31 +7,66 @@
  * Determinism: events scheduled for the same tick fire in the order they
  * were scheduled (FIFO tie-break via a monotonically increasing sequence
  * number), so a simulation is exactly reproducible for a given seed.
+ *
+ * Implementation: a two-level calendar queue tuned for the simulator's
+ * event-density profile (almost every delay is under a few hundred
+ * cycles):
+ *
+ *  - The near level is a timing wheel of kWheelSize per-tick FIFO
+ *    buckets covering the sliding window [windowStart, windowStart +
+ *    kWheelSize). Any delay below kWheelSize lands here. The earliest
+ *    bucket is found by scanning a 256-bit occupancy bitmap rotated to
+ *    the window cursor - a handful of word operations, no comparisons
+ *    against other events.
+ *  - Events beyond the window go to a far-future overflow heap ordered
+ *    by (when, seq). Whenever the window slides forward (time advances
+ *    to the next event, or past the whole window), newly covered
+ *    overflow events migrate into their wheel buckets in (when, seq)
+ *    order before anything else can enter those buckets, preserving
+ *    the FIFO guarantee.
+ *
+ * Event nodes are recycled through an intrusive free list and carry an
+ * InlineFunction callback (captures <= 48 bytes stored in place), so
+ * the steady state performs no heap allocation: memory is only
+ * allocated when the number of simultaneously pending events exceeds
+ * every previous high-water mark.
  */
 
 #ifndef TCC_SIM_EVENT_QUEUE_HH
 #define TCC_SIM_EVENT_QUEUE_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/inline_function.hh"
 
 namespace tcc {
 
 /**
  * The central event queue.
  *
- * Components schedule std::function callbacks at absolute or relative
- * ticks. The queue never runs backwards; scheduling in the past is a
- * simulator bug (panic).
+ * Components schedule callbacks at absolute or relative ticks. The
+ * queue never runs backwards; scheduling in the past is a simulator
+ * bug (panic).
  */
 class EventQueue
 {
   public:
+    /** Event callback: inline up to 48 bytes of capture. */
+    using Callback = InlineFunction<48>;
+
+    // The whole point of Callback is that popping an event moves it -
+    // a copying pop would silently reintroduce per-event allocations.
+    static_assert(!std::is_copy_constructible_v<Callback> &&
+                      !std::is_copy_assignable_v<Callback>,
+                  "event callbacks must be move-only");
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -41,26 +76,34 @@ class EventQueue
 
     /** Schedule @p fn to run @p delay cycles from now. */
     void
-    schedule(Tick delay, std::function<void()> fn)
+    schedule(Tick delay, Callback fn)
     {
         scheduleAt(curTick + delay, std::move(fn));
     }
 
     /** Schedule @p fn to run at absolute tick @p when. */
     void
-    scheduleAt(Tick when, std::function<void()> fn)
+    scheduleAt(Tick when, Callback fn)
     {
         if (when < curTick)
             panic("event scheduled in the past (%llu < %llu)",
                   (unsigned long long)when, (unsigned long long)curTick);
-        heap.push(Entry{when, nextSeq++, std::move(fn)});
+        Node *n = allocNode();
+        n->when = when;
+        n->seq = nextSeq++;
+        n->next = nullptr;
+        n->fn = std::move(fn);
+        if (when - windowStart < kWheelSize)
+            pushBucket(n);
+        else
+            overflow.push(n);
     }
 
     /** @return true iff no events remain. */
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return wheelCount == 0 && overflow.empty(); }
 
     /** Number of pending events (diagnostics). */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t pending() const { return wheelCount + overflow.size(); }
 
     /**
      * Run the earliest event, advancing time to it.
@@ -69,31 +112,40 @@ class EventQueue
     bool
     step()
     {
-        if (heap.empty())
+        Node *n = popEarliest();
+        if (!n)
             return false;
-        // Move the entry out before popping so the callback may schedule.
-        Entry e = std::move(const_cast<Entry &>(heap.top()));
-        heap.pop();
-        curTick = e.when;
-        e.fn();
+        curTick = n->when;
+        // Slide the window up to now *before* running the callback:
+        // newly covered overflow events enter their buckets first, so
+        // a callback scheduling at the same tick still queues behind
+        // them (FIFO by sequence number).
+        if (windowStart < curTick) {
+            windowStart = curTick;
+            migrateOverflow();
+        }
+        n->fn();
         ++executedEvents;
+        freeNode(n);
         return true;
     }
 
     /**
      * Run events until the queue drains or time would pass @p limit.
-     * Events at exactly @p limit still execute.
+     * Events at exactly @p limit still execute. On return, now() has
+     * advanced to @p limit even when later events remain, so callers
+     * that time-slice the simulation observe contiguous time.
      * @return number of events executed.
      */
     std::uint64_t
     runUntil(Tick limit)
     {
         std::uint64_t n = 0;
-        while (!heap.empty() && heap.top().when <= limit) {
+        while (nextWhen() <= limit) {
             step();
             ++n;
         }
-        if (curTick < limit && heap.empty())
+        if (curTick < limit)
             curTick = limit;
         return n;
     }
@@ -111,24 +163,177 @@ class EventQueue
     /** Total events executed so far (diagnostics / tests). */
     std::uint64_t executed() const { return executedEvents; }
 
+    /** Tick of the earliest pending event (kTickMax when empty). */
+    Tick
+    nextWhen() const
+    {
+        if (wheelCount != 0)
+            return wheel[earliestBucket()].head->when;
+        if (!overflow.empty())
+            return overflow.top()->when;
+        return kTickMax;
+    }
+
+    /** Event-node capacity high-water mark (allocation diagnostics). */
+    std::size_t nodeCapacity() const { return slabs.size() * kSlabNodes; }
+
   private:
-    struct Entry {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
+    /// Per-tick buckets; covers a sliding kWheelSize-tick window.
+    static constexpr std::size_t kWheelBits = 8;
+    static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+    static constexpr Tick kWheelMask = kWheelSize - 1;
+    static constexpr std::size_t kWheelWords = kWheelSize / 64;
+    static constexpr std::size_t kSlabNodes = 256;
+
+    struct Node {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Node *next = nullptr; ///< bucket FIFO chain / free list
+        Callback fn;
     };
 
+    /** Per-tick FIFO bucket (intrusive singly-linked list). */
+    struct Bucket {
+        Node *head = nullptr;
+        Node *tail = nullptr;
+    };
+
+    /** Overflow heap order: earliest (when, seq) on top. */
     struct Later {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Node *a, const Node *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Node *
+    allocNode()
+    {
+        if (!freeList) {
+            slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
+            Node *slab = slabs.back().get();
+            for (std::size_t i = 0; i < kSlabNodes; ++i) {
+                slab[i].next = freeList;
+                freeList = &slab[i];
+            }
+        }
+        Node *n = freeList;
+        freeList = n->next;
+        return n;
+    }
+
+    void
+    freeNode(Node *n)
+    {
+        n->fn.reset(); // run the callable's destructor eagerly
+        n->next = freeList;
+        freeList = n;
+    }
+
+    void
+    pushBucket(Node *n)
+    {
+        const std::size_t idx = n->when & kWheelMask;
+        Bucket &b = wheel[idx];
+        if (b.tail)
+            b.tail->next = n;
+        else
+            b.head = n;
+        b.tail = n;
+        occupied[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        ++wheelCount;
+    }
+
+    /**
+     * Move every overflow event now covered by the window into its
+     * wheel bucket. The heap pops in (when, seq) order and buckets
+     * append at the tail, so same-tick FIFO survives migration.
+     */
+    void
+    migrateOverflow()
+    {
+        while (!overflow.empty() &&
+               overflow.top()->when - windowStart < kWheelSize) {
+            Node *n = overflow.top();
+            overflow.pop();
+            n->next = nullptr;
+            pushBucket(n);
+        }
+    }
+
+    /**
+     * Index of the earliest non-empty bucket. Within the window the
+     * rotated index (idx - windowStart) mod kWheelSize is monotonic in
+     * `when`, so this scans the occupancy bitmap starting at the
+     * window cursor and wrapping once. Pre: wheelCount != 0.
+     */
+    std::size_t
+    earliestBucket() const
+    {
+        const std::size_t cw = (windowStart & kWheelMask) >> 6;
+        const std::size_t cb = windowStart & 63;
+        // Cursor word, bits at or after the cursor.
+        std::uint64_t w = occupied[cw] & (~std::uint64_t{0} << cb);
+        if (w)
+            return cw * 64 + static_cast<std::size_t>(std::countr_zero(w));
+        // Following words, wrapping; the cursor word's low bits come
+        // last (they are one revolution ahead).
+        for (std::size_t i = 1; i <= kWheelWords; ++i) {
+            const std::size_t k = (cw + i) & (kWheelWords - 1);
+            std::uint64_t ww = occupied[k];
+            if (k == cw)
+                ww &= ~(~std::uint64_t{0} << cb);
+            if (ww) {
+                return k * 64 +
+                       static_cast<std::size_t>(std::countr_zero(ww));
+            }
+        }
+        panic("event wheel count/bitmap out of sync");
+    }
+
+    /** Detach and return the earliest pending event, or nullptr. */
+    Node *
+    popEarliest()
+    {
+        if (wheelCount == 0) {
+            if (overflow.empty())
+                return nullptr;
+            // Jump the window forward to the next far-future event.
+            windowStart = overflow.top()->when;
+            migrateOverflow();
+        }
+        const std::size_t idx = earliestBucket();
+        Bucket &b = wheel[idx];
+        Node *n = b.head;
+        b.head = n->next;
+        if (!b.head) {
+            b.tail = nullptr;
+            occupied[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        }
+        --wheelCount;
+        return n;
+    }
+
+    Bucket wheel[kWheelSize];
+    std::uint64_t occupied[kWheelWords] = {};
+    std::size_t wheelCount = 0;
+    /**
+     * Start of the sliding window the wheel covers. Invariants: every
+     * wheel event is in [windowStart, windowStart + kWheelSize); every
+     * overflow event is at or beyond windowStart + kWheelSize;
+     * windowStart <= the earliest pending event and never decreases.
+     */
+    Tick windowStart = 0;
+
+    std::priority_queue<Node *, std::vector<Node *>, Later> overflow;
+
+    /// Node storage: slabs own the nodes; freeList threads spares.
+    std::vector<std::unique_ptr<Node[]>> slabs;
+    Node *freeList = nullptr;
+
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executedEvents = 0;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Slab-backed object pool with an intrusive free list. Used to recycle
+ * hot-path objects (in-flight Messages, event nodes) so the simulator's
+ * steady state performs no heap allocation: slabs are only allocated
+ * when the pool grows past every previous high-water mark.
+ */
+
+#ifndef TCC_SIM_POOL_HH
+#define TCC_SIM_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tcc {
+
+/**
+ * Pool of default-constructible T. Objects are handed out constructed;
+ * free() returns them for reuse (the object's state persists until the
+ * next alloc overwrites it, so callers must not rely on freshness).
+ */
+template <typename T, std::size_t SlabObjects = 128>
+class ObjectPool
+{
+    static_assert(SlabObjects > 0);
+
+  public:
+    ObjectPool() = default;
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    /** Take an object from the pool (grows by one slab when empty). */
+    T *
+    alloc()
+    {
+        if (!freeHead)
+            grow();
+        Slot *s = freeHead;
+        freeHead = s->next;
+        ++liveObjects;
+        return &s->value;
+    }
+
+    /** Take an object and assign @p init into it. */
+    T *
+    alloc(T init)
+    {
+        T *p = alloc();
+        *p = std::move(init);
+        return p;
+    }
+
+    /** Return an object obtained from alloc(). */
+    void
+    free(T *p)
+    {
+        Slot *s = reinterpret_cast<Slot *>(
+            reinterpret_cast<char *>(p) - offsetof(Slot, value));
+        s->next = freeHead;
+        freeHead = s;
+        --liveObjects;
+    }
+
+    /** Objects currently handed out (diagnostics / leak checks). */
+    std::size_t live() const { return liveObjects; }
+
+    /** Total objects ever materialized (capacity high-water mark). */
+    std::size_t capacity() const { return slabs.size() * SlabObjects; }
+
+  private:
+    struct Slot {
+        T value{};
+        Slot *next = nullptr;
+    };
+
+    void
+    grow()
+    {
+        slabs.push_back(std::make_unique<Slot[]>(SlabObjects));
+        Slot *slab = slabs.back().get();
+        for (std::size_t i = 0; i < SlabObjects; ++i) {
+            slab[i].next = freeHead;
+            freeHead = &slab[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    Slot *freeHead = nullptr;
+    std::size_t liveObjects = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_SIM_POOL_HH

@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
+#include "sim/pool.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 
@@ -71,6 +77,214 @@ TEST(EventQueue, RunUntilStopsAtLimit)
     EXPECT_FALSE(eq.empty());
     eq.run();
     EXPECT_EQ(fired, 2);
+}
+
+// Regression: a caller that time-slices the simulation must see now()
+// advance to the slice limit even when later events remain queued
+// (previously now() stuck at the last executed event between slices).
+TEST(EventQueue, RunUntilAdvancesNowToLimitWithEventsPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(500, [&] { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_FALSE(eq.empty());
+
+    // Relative scheduling between slices is anchored at the limit.
+    eq.schedule(10, [&] { EXPECT_EQ(eq.now(), 110u); ++fired; });
+    eq.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 200u);
+
+    // Events at exactly the limit still execute.
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(300);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 300u);
+
+    eq.run();
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueAdvancesTime)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(42), 0u);
+    EXPECT_EQ(eq.now(), 42u);
+}
+
+// Same-tick FIFO must hold when some events reach the tick through the
+// far-future overflow heap and others through the near wheel (the
+// wheel window spans 256 ticks, so tick 1000 is "far" when scheduled
+// at tick 0 and "near" when scheduled at tick 900).
+TEST(EventQueue, SameTickFifoAcrossWheelAndOverflowPaths)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        eq.scheduleAt(1000, [&, i] { order.push_back(i); }); // overflow
+    eq.scheduleAt(900, [&] {
+        for (int i = 4; i < 8; ++i)
+            eq.scheduleAt(1000, [&, i] { order.push_back(i); }); // wheel
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+// Property test: under a random mix of near (wheel) and far (overflow)
+// delays, events execute in exactly (when, scheduling-order) order.
+TEST(EventQueue, PropertyRandomDelaysExecuteInScheduleOrder)
+{
+    Rng rng(2024);
+    EventQueue eq;
+    struct Rec {
+        Tick when;
+        int id;
+    };
+    std::vector<Rec> expected;
+    std::vector<int> executed;
+    int nextId = 0;
+
+    // Seed events from the outside, then more from inside callbacks.
+    std::function<void(int)> fire = [&](int id) {
+        executed.push_back(id);
+        if (nextId < 3000 && rng.below(2) == 0) {
+            const int n = 1 + static_cast<int>(rng.below(3));
+            for (int i = 0; i < n; ++i) {
+                const Tick d = rng.below(16) == 0
+                                   ? 200 + rng.below(2000) // far
+                                   : rng.below(120);       // near
+                const int id2 = nextId++;
+                expected.push_back({eq.now() + d, id2});
+                eq.schedule(d, [&fire, id2] { fire(id2); });
+            }
+        }
+    };
+    for (int i = 0; i < 200; ++i) {
+        const Tick d = rng.below(4) == 0 ? 300 + rng.below(3000)
+                                         : rng.below(250);
+        const int id = nextId++;
+        expected.push_back({d, id});
+        eq.scheduleAt(d, [&fire, id] { fire(id); });
+    }
+    eq.run();
+
+    // Stable sort by when == the exact required execution order, since
+    // ids are assigned in scheduling order.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Rec &a, const Rec &b) {
+                         return a.when < b.when;
+                     });
+    ASSERT_EQ(executed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(executed[i], expected[i].id) << "at position " << i;
+}
+
+// The steady state must not allocate: once the pending-event
+// population has hit its high-water mark, the node slab count stays
+// fixed no matter how many more events flow through.
+TEST(EventQueue, SteadyStateReusesNodes)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 50000)
+            eq.schedule(1 + fired % 97, chain);
+    };
+    for (int i = 0; i < 32; ++i)
+        eq.schedule(i, chain);
+    eq.runUntil(2000); // warm up past the high-water mark
+    const std::size_t cap = eq.nodeCapacity();
+    EXPECT_GT(cap, 0u);
+    eq.run();
+    EXPECT_EQ(eq.nodeCapacity(), cap);
+    EXPECT_GE(fired, 50000u);
+}
+
+TEST(EventQueue, PendingCountsWheelAndOverflow)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});    // wheel
+    eq.schedule(10000, [] {}); // overflow
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.step();
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 10000u);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeapAndStillRuns)
+{
+    EventQueue eq;
+    char big[200];
+    std::memset(big, 7, sizeof(big));
+    int sum = 0;
+    eq.schedule(3, [&sum, big] { sum = big[0] + big[199]; });
+    eq.run();
+    EXPECT_EQ(sum, 14);
+}
+
+TEST(InlineFunction, SmallCapturesStayInline)
+{
+    int x = 0;
+    InlineFunction<48> f([&x] { x = 5; });
+    EXPECT_TRUE(f.isInline());
+    f();
+    EXPECT_EQ(x, 5);
+}
+
+TEST(InlineFunction, LargeCapturesUseHeap)
+{
+    char big[64] = {};
+    big[63] = 9;
+    int out = 0;
+    InlineFunction<48> f([&out, big] { out = big[63]; });
+    EXPECT_FALSE(f.isInline());
+    f();
+    EXPECT_EQ(out, 9);
+}
+
+TEST(InlineFunction, MoveTransfersAndResetDestroys)
+{
+    auto counter = std::make_shared<int>(0);
+    InlineFunction<48> a([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+
+    InlineFunction<48> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(counter.use_count(), 2); // moved, not copied
+    b();
+    EXPECT_EQ(*counter, 1);
+
+    b.reset();
+    EXPECT_FALSE(static_cast<bool>(b));
+    EXPECT_EQ(counter.use_count(), 1); // capture destroyed
+}
+
+TEST(ObjectPool, RecyclesSlots)
+{
+    ObjectPool<int, 4> pool;
+    int *a = pool.alloc(1);
+    int *b = pool.alloc(2);
+    EXPECT_EQ(pool.live(), 2u);
+    EXPECT_EQ(*a, 1);
+    pool.free(a);
+    int *c = pool.alloc(3);
+    EXPECT_EQ(c, a); // LIFO reuse of the freed slot
+    EXPECT_EQ(*c, 3);
+    EXPECT_EQ(*b, 2);
+    pool.free(b);
+    pool.free(c);
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.capacity(), 4u); // no second slab needed
 }
 
 TEST(EventQueue, ZeroDelayRunsAtCurrentTick)
