@@ -21,8 +21,18 @@ namespace {
 
 using namespace tccbench;
 
-/** Run the bus baseline on the same workload and report cycles. */
-Tick
+/**
+ * Cycles of one bus-baseline run, with completion reported
+ * separately: an incomplete run must never be conflated with a
+ * 0-cycle one (which would read as an infinitely fast bus).
+ */
+struct BusResult {
+    Tick cycles = 0;
+    bool completed = false;
+};
+
+/** Run the bus baseline on the same workload. */
+BusResult
 runBus(const AppProfile &profile, std::uint32_t procs,
        std::uint64_t seed)
 {
@@ -36,43 +46,74 @@ runBus(const AppProfile &profile, std::uint32_t procs,
         bus.setSource(p, sources.back().get());
     }
     auto res = bus.run();
-    return res.completed ? res.cycles : 0;
+    return BusResult{res.cycles, res.completed};
 }
+
+/** Both designs on one (app, procs) grid cell. */
+struct Cell {
+    BusResult bus;
+    RunOutcome scal;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto procList = benchProcs(args, {4u, 8u, 16u, 32u, 64u});
+
+    std::vector<std::string> names;
+    for (const char *name : {"volrend", "equake", "barnes", "specjbb"})
+        if (args.filter.empty() ||
+            std::string(name).find(args.filter) != std::string::npos)
+            names.push_back(name);
 
     std::puts("=== Ablation: parallel commit (Scalable TCC) vs "
               "serialized commit (bus TCC) ===");
     std::printf("%-16s %5s %14s %14s %12s\n", "application", "cpus",
                 "bus_speedup", "scal_speedup", "scal/bus");
 
-    for (const char *name : {"volrend", "equake", "barnes", "specjbb"}) {
-        const auto &app = appProfile(name);
-
-        const Tick bus1 = runBus(app, 1, 1);
-        RunOptions uni;
-        uni.procs = 1;
-        const auto scal1 = runApp(app, uni);
-
-        for (std::uint32_t p : {4u, 8u, 16u, 32u, 64u}) {
-            const Tick busp = runBus(app, p, 1);
+    // Grid cell 0 of each app row is the 1-CPU baseline.
+    const std::size_t stride = 1 + procList.size();
+    SweepRunner runner(args.jobs);
+    auto cells = sweepIndex<Cell>(
+        runner, names.size() * stride, [&](std::size_t i) {
+            const auto &app = appProfile(names[i / stride]);
+            const std::size_t j = i % stride;
+            const std::uint32_t p =
+                j == 0 ? 1u : procList[j - 1];
+            Cell cell;
+            cell.bus = runBus(app, p, 1);
             RunOptions opt;
             opt.procs = p;
-            const auto scalp = runApp(app, opt);
-            if (busp == 0 || !scalp.completed) {
-                std::printf("%-16s %5u DID NOT COMPLETE\n", name, p);
+            cell.scal = runApp(app, opt);
+            return cell;
+        });
+
+    for (std::size_t a = 0; a < names.size(); ++a) {
+        const char *name = names[a].c_str();
+        const Cell &base = cells[a * stride];
+        for (std::size_t j = 0; j < procList.size(); ++j) {
+            const std::uint32_t p = procList[j];
+            const Cell &cell = cells[a * stride + 1 + j];
+            const bool busOk =
+                base.bus.completed && cell.bus.completed;
+            const bool scalOk =
+                base.scal.completed && cell.scal.completed;
+            if (!busOk || !scalOk) {
+                std::printf("%-16s %5u %14s %14s %12s\n", name, p,
+                            busOk ? "-" : "DID NOT COMPLETE",
+                            scalOk ? "-" : "DID NOT COMPLETE", "-");
                 continue;
             }
             const double bus_speedup =
-                static_cast<double>(bus1) / static_cast<double>(busp);
+                static_cast<double>(base.bus.cycles) /
+                static_cast<double>(cell.bus.cycles);
             const double scal_speedup =
-                static_cast<double>(scal1.cycles) /
-                static_cast<double>(scalp.cycles);
+                static_cast<double>(base.scal.cycles) /
+                static_cast<double>(cell.scal.cycles);
             std::printf("%-16s %5u %13.1fx %13.1fx %11.2fx\n", name, p,
                         bus_speedup, scal_speedup,
                         scal_speedup / bus_speedup);

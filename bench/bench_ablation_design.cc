@@ -15,32 +15,60 @@
 
 #include "bench_common.hh"
 
+namespace {
+
+using namespace tccbench;
+
+/** A/B sweep: run @p variants.size() options per app concurrently. */
+std::vector<tccbench::RunOutcome>
+abSweep(tccbench::SweepRunner &runner,
+        const std::vector<std::string> &names,
+        const std::vector<tccbench::RunOptions> &variants)
+{
+    return tccbench::sweepIndex<tccbench::RunOutcome>(
+        runner, names.size() * variants.size(), [&](std::size_t i) {
+            const auto &app =
+                tcc::appProfile(names[i / variants.size()]);
+            return tccbench::runApp(app,
+                                    variants[i % variants.size()]);
+        });
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
-    constexpr std::uint32_t kProcs = 32;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const std::uint32_t kProcs =
+        args.procs.empty() ? 32u : args.procs.front();
+    SweepRunner runner(args.jobs);
 
     std::puts("=== Ablation 1: word vs line conflict granularity "
               "(32 CPUs) ===");
     std::printf("%-16s %14s %14s %12s %12s\n", "application",
                 "word_cycles", "line_cycles", "word_viol",
                 "line_viol");
-    for (const char *name :
-         {"cluster_ga", "water_nsquared", "volrend", "barnes"}) {
-        const auto &app = appProfile(name);
+    {
+        const std::vector<std::string> names = {
+            "cluster_ga", "water_nsquared", "volrend", "barnes"};
         RunOptions w;
         w.procs = kProcs;
         w.granularity = Granularity::Word;
-        auto word = runApp(app, w);
         RunOptions l = w;
         l.granularity = Granularity::Line;
-        auto line = runApp(app, l);
-        std::printf("%-16s %14llu %14llu %12llu %12llu\n", name,
-                    (unsigned long long)word.cycles,
-                    (unsigned long long)line.cycles,
-                    (unsigned long long)word.violations,
-                    (unsigned long long)line.violations);
+        auto outs = abSweep(runner, names, {w, l});
+        for (std::size_t a = 0; a < names.size(); ++a) {
+            const auto &word = outs[a * 2];
+            const auto &line = outs[a * 2 + 1];
+            std::printf("%-16s %14llu %14llu %12llu %12llu\n",
+                        names[a].c_str(),
+                        (unsigned long long)word.cycles,
+                        (unsigned long long)line.cycles,
+                        (unsigned long long)word.violations,
+                        (unsigned long long)line.violations);
+        }
     }
 
     std::puts("\n=== Ablation 2: TID aging under high conflict "
@@ -53,13 +81,18 @@ main()
         hot.hotWords = 8;
         hot.txnsPerPhase = 256;
         hot.phases = 2;
-        for (std::uint32_t aging : {3u, 0u}) {
-            RunOptions opt;
-            opt.procs = kProcs;
-            opt.agingThreshold = aging;
-            auto out = runApp(hot, opt);
+        const std::vector<std::uint32_t> agings = {3u, 0u};
+        auto outs = sweepIndex<RunOutcome>(
+            runner, agings.size(), [&](std::size_t i) {
+                RunOptions opt;
+                opt.procs = kProcs;
+                opt.agingThreshold = agings[i];
+                return runApp(hot, opt);
+            });
+        for (std::size_t i = 0; i < agings.size(); ++i) {
+            const auto &out = outs[i];
             std::printf("aging=%-10u %14llu %14llu %12llu %12s\n",
-                        aging, (unsigned long long)out.cycles,
+                        agings[i], (unsigned long long)out.cycles,
                         (unsigned long long)out.violations,
                         (unsigned long long)out.committedTxns,
                         out.completed ? "yes" : "NO");
@@ -71,34 +104,49 @@ main()
     std::printf("%-16s %14s %14s %16s %16s\n", "application",
                 "wb_cycles", "wt_cycles", "wb_bytes/instr",
                 "wt_bytes/instr");
-    for (const char *name : {"swim", "radix", "barnes", "tomcatv"}) {
-        const auto &app = appProfile(name);
+    {
+        const std::vector<std::string> names = {"swim", "radix",
+                                                "barnes", "tomcatv"};
         RunOptions wb;
         wb.procs = kProcs;
-        auto a = runApp(app, wb);
         RunOptions wt = wb;
         wt.writeThroughCommit = true;
-        auto b = runApp(app, wt);
-        std::printf("%-16s %14llu %14llu %16.4f %16.4f\n", name,
-                    (unsigned long long)a.cycles,
-                    (unsigned long long)b.cycles, a.traffic.total(),
-                    b.traffic.total());
+        auto outs = abSweep(runner, names, {wb, wt});
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &a = outs[i * 2];
+            const auto &b = outs[i * 2 + 1];
+            std::printf("%-16s %14llu %14llu %16.4f %16.4f\n",
+                        names[i].c_str(),
+                        (unsigned long long)a.cycles,
+                        (unsigned long long)b.cycles,
+                        a.traffic.total(), b.traffic.total());
+        }
     }
 
     std::puts("\n=== Ablation 4: directory cache size (32 CPUs) ===");
     std::printf("%-16s %12s %14s %14s\n", "application", "entries",
                 "cycles", "dcache_misses");
-    for (const char *name : {"barnes", "swim"}) {
-        const auto &app = appProfile(name);
-        for (std::uint32_t entries : {0u, 8192u, 512u, 64u}) {
-            RunOptions opt;
-            opt.procs = kProcs;
-            opt.dirCacheEntries = entries;
-            auto out = runApp(app, opt);
-            std::printf("%-16s %12u %14llu %14llu%s\n", name,
-                        entries, (unsigned long long)out.cycles,
-                        (unsigned long long)out.dirCacheMisses,
-                        out.completed ? "" : " INCOMPLETE");
+    {
+        const std::vector<std::string> names = {"barnes", "swim"};
+        const std::vector<std::uint32_t> sizes = {0u, 8192u, 512u,
+                                                  64u};
+        auto outs = sweepIndex<RunOutcome>(
+            runner, names.size() * sizes.size(), [&](std::size_t i) {
+                RunOptions opt;
+                opt.procs = kProcs;
+                opt.dirCacheEntries = sizes[i % sizes.size()];
+                return runApp(appProfile(names[i / sizes.size()]),
+                              opt);
+            });
+        for (std::size_t a = 0; a < names.size(); ++a) {
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                const auto &out = outs[a * sizes.size() + s];
+                std::printf("%-16s %12u %14llu %14llu%s\n",
+                            names[a].c_str(), sizes[s],
+                            (unsigned long long)out.cycles,
+                            (unsigned long long)out.dirCacheMisses,
+                            out.completed ? "" : " INCOMPLETE");
+            }
         }
     }
 
@@ -106,20 +154,25 @@ main()
               "(32 CPUs) ===");
     std::printf("%-16s %16s %16s %10s\n", "application", "firsttouch",
                 "interleave", "slowdown");
-    for (const char *name : {"swim", "specjbb", "barnes", "equake"}) {
-        const auto &app = appProfile(name);
+    {
+        const std::vector<std::string> names = {"swim", "specjbb",
+                                                "barnes", "equake"};
         RunOptions ft;
         ft.procs = kProcs;
         ft.homePolicy = HomePolicy::FirstTouch;
-        auto a = runApp(app, ft);
         RunOptions il = ft;
         il.homePolicy = HomePolicy::Interleave;
-        auto b = runApp(app, il);
-        std::printf("%-16s %16llu %16llu %9.2fx\n", name,
-                    (unsigned long long)a.cycles,
-                    (unsigned long long)b.cycles,
-                    static_cast<double>(b.cycles) /
-                        static_cast<double>(a.cycles));
+        auto outs = abSweep(runner, names, {ft, il});
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &a = outs[i * 2];
+            const auto &b = outs[i * 2 + 1];
+            std::printf("%-16s %16llu %16llu %9.2fx\n",
+                        names[i].c_str(),
+                        (unsigned long long)a.cycles,
+                        (unsigned long long)b.cycles,
+                        static_cast<double>(b.cycles) /
+                            static_cast<double>(a.cycles));
+        }
     }
     return 0;
 }

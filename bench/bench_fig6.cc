@@ -11,19 +11,28 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto apps = benchApps(args);
+    const std::uint32_t procs =
+        args.procs.empty() ? 1u : args.procs.front();
 
     std::puts("=== Figure 6: single-processor execution time "
               "breakdown ===");
     std::puts(breakdownHeader().c_str());
 
+    SweepRunner runner(args.jobs);
+    auto outs = sweepIndex<RunOutcome>(
+        runner, apps.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = procs;
+            return runApp(apps[i], opt);
+        });
+
     double worst_commit = 0;
-    for (const auto &app : benchApps()) {
-        RunOptions opt;
-        opt.procs = 1;
-        auto out = runApp(app, opt);
+    for (const auto &out : outs) {
         std::puts(breakdownRow(out.app, out.breakdown).c_str());
         worst_commit = std::max(
             worst_commit,

@@ -16,9 +16,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto apps = benchApps(args);
+    const auto procList = benchProcs(args, {8u, 16u, 32u, 64u});
 
     std::puts("=== Figure 7: execution time vs processor count "
               "(normalized to 1 CPU) ===");
@@ -27,24 +30,41 @@ main()
                 "application", "cpus", "speedup", "norm_time", "useful",
                 "miss", "idle", "commit", "violation");
 
-    for (const auto &app : benchApps()) {
-        RunOptions base;
-        base.procs = 1;
-        auto uni = runApp(app, base);
+    // One job per grid cell; cell 0 of each app row is the 1-CPU
+    // baseline the rest normalize against.
+    struct Cell {
+        std::size_t app;
+        std::uint32_t procs;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        cells.push_back({a, 1});
+        for (std::uint32_t p : procList)
+            cells.push_back({a, p});
+    }
+    SweepRunner runner(args.jobs);
+    auto outs = sweepIndex<RunOutcome>(
+        runner, cells.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = cells[i].procs;
+            return runApp(apps[cells[i].app], opt);
+        });
+
+    const std::size_t stride = 1 + procList.size();
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto &uni = outs[a * stride];
         if (!uni.completed) {
             std::printf("%-16s 1-CPU run DID NOT COMPLETE\n",
-                        app.name.c_str());
+                        apps[a].name.c_str());
             continue;
         }
         const double t1 = static_cast<double>(uni.cycles);
 
-        for (std::uint32_t p : {8u, 16u, 32u, 64u}) {
-            RunOptions opt;
-            opt.procs = p;
-            auto out = runApp(app, opt);
+        for (std::size_t j = 0; j < procList.size(); ++j) {
+            const auto &out = outs[a * stride + 1 + j];
             if (!out.completed) {
                 std::printf("%-16s %5u DID NOT COMPLETE\n",
-                            app.name.c_str(), p);
+                            apps[a].name.c_str(), procList[j]);
                 continue;
             }
             const double tp = static_cast<double>(out.cycles);
@@ -55,8 +75,8 @@ main()
             const auto &bd = out.breakdown;
             std::printf("%-16s %5u %8.1fx %8.1f%% | %6.1f%% %6.1f%% "
                         "%6.1f%% %6.1f%% %8.1f%%\n",
-                        app.name.c_str(), p, speedup, height,
-                        height * bd.fraction(bd.useful),
+                        apps[a].name.c_str(), out.procs, speedup,
+                        height, height * bd.fraction(bd.useful),
                         height * bd.fraction(bd.miss),
                         height * bd.fraction(bd.idle),
                         height * bd.fraction(bd.commit),

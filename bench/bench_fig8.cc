@@ -14,10 +14,14 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
-    constexpr std::uint32_t kProcs = 32;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto apps = benchApps(args);
+    const std::uint32_t procs =
+        args.procs.empty() ? 32u : args.procs.front();
+    const std::vector<Tick> hops = {2, 4, 8};
 
     std::puts("=== Figure 8: communication latency sensitivity "
               "(32 processors) ===");
@@ -25,27 +29,34 @@ main()
                 "cyc/hop", "norm_time", "useful", "miss", "idle",
                 "commit", "violation");
 
-    for (const auto &app : benchApps()) {
-        double t_base = 0;
-        for (Tick hop : {2u, 4u, 8u}) {
+    SweepRunner runner(args.jobs);
+    auto outs = sweepIndex<RunOutcome>(
+        runner, apps.size() * hops.size(), [&](std::size_t i) {
             RunOptions opt;
-            opt.procs = kProcs;
-            opt.hopLatency = hop;
-            auto out = runApp(app, opt);
+            opt.procs = procs;
+            opt.hopLatency = hops[i % hops.size()];
+            return runApp(apps[i / hops.size()], opt);
+        });
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        double t_base = 0;
+        for (std::size_t h = 0; h < hops.size(); ++h) {
+            const Tick hop = hops[h];
+            const auto &out = outs[a * hops.size() + h];
             if (!out.completed) {
                 std::printf("%-16s %10llu DID NOT COMPLETE\n",
-                            app.name.c_str(),
+                            apps[a].name.c_str(),
                             (unsigned long long)hop);
                 continue;
             }
-            if (hop == 2)
+            if (h == 0)
                 t_base = static_cast<double>(out.cycles);
             const double height =
                 100.0 * static_cast<double>(out.cycles) / t_base;
             const auto &bd = out.breakdown;
             std::printf("%-16s %10llu %10.1f%% | %6.1f%% %6.1f%% "
                         "%6.1f%% %6.1f%% %8.1f%%\n",
-                        app.name.c_str(), (unsigned long long)hop,
+                        apps[a].name.c_str(), (unsigned long long)hop,
                         height, height * bd.fraction(bd.useful),
                         height * bd.fraction(bd.miss),
                         height * bd.fraction(bd.idle),

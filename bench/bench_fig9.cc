@@ -13,27 +13,38 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto apps = benchApps(args);
+    const std::uint32_t procs =
+        args.procs.empty() ? 64u : args.procs.front();
 
     std::puts("=== Figure 9: remote traffic (bytes/instr, "
               "64 processors) ===");
     std::puts(trafficHeader().c_str());
 
-    for (const auto &app : benchApps()) {
-        RunOptions opt;
-        opt.procs = 64;
-        auto out = runApp(app, opt);
+    SweepRunner runner(args.jobs);
+    auto outs = sweepIndex<RunOutcome>(
+        runner, apps.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = procs;
+            return runApp(apps[i], opt);
+        });
+
+    for (const auto &out : outs) {
         if (!out.completed) {
-            std::printf("%-16s DID NOT COMPLETE\n", app.name.c_str());
+            std::printf("%-16s DID NOT COMPLETE\n", out.app.c_str());
             continue;
         }
         std::puts(trafficRowText(out.traffic).c_str());
         // The paper also quotes the implied MB/s at 2 GHz per node.
-        const double mbps = out.traffic.total() * 2e9 / 64.0 / 1e6;
+        const double mbps =
+            out.traffic.total() * 2e9 / static_cast<double>(procs) /
+            1e6;
         std::printf("%-16s   -> %.1f MB/s per node at 2 GHz\n",
-                    app.name.c_str(), mbps);
+                    out.app.c_str(), mbps);
     }
     return 0;
 }

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Benchmark of the evaluation harness itself, with a machine-readable
+ * result (BENCH_sweep.json):
+ *
+ *  1. Wall-clock of a representative figure-style grid (every
+ *     application at 8 and 16 processors) run serially vs through
+ *     SweepRunner with N workers. The parallel pass is checked
+ *     bit-identical to the serial pass before any number is reported;
+ *     a mismatch fails the benchmark.
+ *  2. End-to-end simulated events/sec of a single Table 2 run - the
+ *     figure that tracks the FlatMap/FlatSet hot-path containers
+ *     (directory entries, store words, processor write buffers).
+ *
+ * Usage: bench_sweep [--smoke] [--out PATH] [--jobs=<n>]
+ *   --smoke   tiny grid (CI wiring check, not a benchmark)
+ *   --out     JSON output path (default BENCH_sweep.json)
+ *   --jobs    parallel worker count (default: TCC_JOBS env, else
+ *             hardware threads)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace tccbench;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct GridCell {
+    std::string app;
+    std::uint32_t procs;
+};
+
+/** The run fingerprint that must match between serial and parallel. */
+struct Fingerprint {
+    Tick cycles;
+    std::uint64_t committedTxns;
+    std::uint64_t violations;
+    std::uint64_t committedInstructions;
+    bool completed;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return cycles == o.cycles &&
+               committedTxns == o.committedTxns &&
+               violations == o.violations &&
+               committedInstructions == o.committedInstructions &&
+               completed == o.completed;
+    }
+};
+
+Fingerprint
+fingerprint(const RunOutcome &out)
+{
+    return Fingerprint{out.cycles, out.committedTxns, out.violations,
+                       out.committedInstructions, out.completed};
+}
+
+std::vector<RunOutcome>
+runGrid(const std::vector<GridCell> &grid, unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    return sweepIndex<RunOutcome>(
+        runner, grid.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = grid[i].procs;
+            return runApp(appProfile(grid[i].app), opt);
+        });
+}
+
+/** One timed end-to-end run; events/sec exercises the flat maps. */
+double
+flatMapEventsPerSec(std::uint32_t txns_per_phase)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 16;
+    System sys(cfg);
+    AppProfile prof = appProfile("water_spatial");
+    prof.txnsPerPhase = txns_per_phase;
+    prof.phases = 2;
+    auto sources = setupApp(sys, prof, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(res.events) / seconds(t0, t1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tccbench;
+
+    bool smoke = false;
+    std::string outPath = "BENCH_sweep.json";
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--smoke] [--out PATH] [--jobs=<n>]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (jobs == 0)
+        jobs = SweepRunner::defaultJobs();
+
+    // The grid: every application at 8 and 16 CPUs (a slice of the
+    // Figure 7 sweep). Smoke keeps two applications so CI only checks
+    // the wiring.
+    std::vector<GridCell> grid;
+    std::size_t nApps = 0;
+    for (const auto &app : benchApps()) {
+        if (smoke && nApps >= 2)
+            break;
+        ++nApps;
+        for (std::uint32_t p : {8u, 16u})
+            grid.push_back(GridCell{app.name, p});
+    }
+
+    std::printf("== sweep-engine throughput (%zu runs) ==\n",
+                grid.size());
+
+    const auto s0 = std::chrono::steady_clock::now();
+    const auto serial = runGrid(grid, 1);
+    const auto s1 = std::chrono::steady_clock::now();
+    const double serialSec = seconds(s0, s1);
+    std::printf("serial   (1 job%s) : %8.3f sec\n", "", serialSec);
+
+    const auto p0 = std::chrono::steady_clock::now();
+    const auto parallel = runGrid(grid, jobs);
+    const auto p1 = std::chrono::steady_clock::now();
+    const double parallelSec = seconds(p0, p1);
+    std::printf("parallel (%u jobs) : %8.3f sec\n", jobs, parallelSec);
+
+    // Determinism gate: the parallel sweep must reproduce the serial
+    // sweep bit for bit, or its timing is meaningless.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!(fingerprint(serial[i]) == fingerprint(parallel[i]))) {
+            std::fprintf(stderr,
+                         "MISMATCH at %s/%u: parallel run is not "
+                         "bit-identical to serial\n",
+                         grid[i].app.c_str(), grid[i].procs);
+            return 1;
+        }
+    }
+    std::printf("determinism        : parallel == serial "
+                "(%zu/%zu runs bit-identical)\n",
+                grid.size(), grid.size());
+
+    const double speedup = serialSec / parallelSec;
+    std::printf("speedup            : %8.2fx\n", speedup);
+
+    const double flatRate =
+        flatMapEventsPerSec(smoke ? 32u : 1024u);
+    std::printf("flat-map e2e       : %12.0f events/sec\n", flatRate);
+
+    std::FILE *f = std::fopen(outPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"serial_sec\": %.6f,\n"
+                 "  \"parallel_sec\": %.6f,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"flatmap_events_per_sec\": %.0f,\n"
+                 "  \"config\": {\n"
+                 "    \"smoke\": %s,\n"
+                 "    \"apps\": %zu,\n"
+                 "    \"runs\": %zu,\n"
+                 "    \"procs\": [8, 16]\n"
+                 "  }\n"
+                 "}\n",
+                 serialSec, parallelSec, jobs, speedup, flatRate,
+                 smoke ? "true" : "false", nApps, grid.size());
+    std::fclose(f);
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

@@ -12,20 +12,29 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tccbench;
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const auto apps = benchApps(args);
+    const std::uint32_t procs =
+        args.procs.empty() ? 64u : args.procs.front();
 
     std::puts("=== Table 3: application TM characteristics "
               "(64 processors) ===");
     std::puts(table3Header().c_str());
 
-    for (const auto &app : benchApps()) {
-        RunOptions opt;
-        opt.procs = 64;
-        auto out = runApp(app, opt);
+    SweepRunner runner(args.jobs);
+    auto outs = sweepIndex<RunOutcome>(
+        runner, apps.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = procs;
+            return runApp(apps[i], opt);
+        });
+
+    for (const auto &out : outs) {
         if (!out.completed) {
-            std::printf("%-16s DID NOT COMPLETE\n", app.name.c_str());
+            std::printf("%-16s DID NOT COMPLETE\n", out.app.c_str());
             continue;
         }
         std::puts(table3Row(out.characterization).c_str());

@@ -1,12 +1,21 @@
-# Validate the schema of a BENCH_kernel.json emitted by bench_kernel:
-# required top-level numeric fields plus a config object. Run as
-#   cmake -DJSON_FILE=<path> -P validate_bench_json.cmake
+# Validate the schema of a machine-readable bench JSON (BENCH_kernel,
+# BENCH_sweep, ...): required top-level numeric fields plus a config
+# object. Run as
+#   cmake -DJSON_FILE=<path> [-DREQUIRED_KEYS=a,b,c] \
+#         -P validate_bench_json.cmake
+# REQUIRED_KEYS is comma-separated; it defaults to the bench_kernel
+# schema for backward compatibility.
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "pass -DJSON_FILE=<path>")
 endif()
+if(NOT DEFINED REQUIRED_KEYS)
+  set(REQUIRED_KEYS "events_per_sec,cycles_per_sec")
+endif()
+string(REPLACE "," ";" key_list "${REQUIRED_KEYS}")
+
 file(READ "${JSON_FILE}" doc)
 
-foreach(key events_per_sec cycles_per_sec)
+foreach(key IN LISTS key_list)
   string(JSON val ERROR_VARIABLE err GET "${doc}" "${key}")
   if(err)
     message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")

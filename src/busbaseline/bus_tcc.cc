@@ -241,9 +241,14 @@ BusTcc::doCommit(Proc &p)
     // Publish and retire.
     for (const auto &[addr, value] : p.writeBuf)
         store.write(addr, value);
-    if (config.enableChecker)
+    if (config.enableChecker) {
+        std::vector<std::pair<Addr, std::uint64_t>> writes;
+        writes.reserve(p.writeBuf.size());
+        for (const auto &[addr, value] : p.writeBuf)
+            writes.emplace_back(addr, value);
         serialChecker.record(commitSeq, p.id, p.readLog,
-                             {p.writeBuf.begin(), p.writeBuf.end()});
+                             std::move(writes));
+    }
     ++commitSeq;
     p.cache.commitSpec(commitSeq);
 

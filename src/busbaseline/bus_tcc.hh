@@ -28,6 +28,7 @@
 
 #include "cache/spec_cache.hh"
 #include "check/serial_checker.hh"
+#include "common/flat_map.hh"
 #include "core/system.hh"
 #include "mem/global_store.hh"
 #include "sim/event_queue.hh"
@@ -100,7 +101,7 @@ class BusTcc
         std::vector<TxOp> curOps;
         std::size_t opIdx = 0;
         std::uint64_t lastLoaded = 0;
-        std::unordered_map<Addr, std::uint64_t> writeBuf;
+        FlatMap<Addr, std::uint64_t> writeBuf;
         std::vector<std::pair<Addr, std::uint64_t>> readLog;
         bool done = false;
         bool waitingToken = false;

@@ -8,6 +8,7 @@
 #ifndef TCC_COMMON_LOG_HH
 #define TCC_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,7 +26,18 @@ enum class TraceCat : unsigned {
     NumCats,
 };
 
-/** Global trace switchboard. All categories default to off. */
+/**
+ * Global trace switchboard. All categories default to off.
+ *
+ * The flags are process-global (they configure *logging*, not any
+ * simulated machine), so they are the one piece of state every
+ * concurrently running System shares. Storage is atomic: readers on
+ * the simulation hot path use relaxed loads (free on x86, a plain
+ * load on ARM), writers use release stores. The intended discipline
+ * under SweepRunner is nevertheless configure-before-spawn: set trace
+ * flags once on the main thread, then launch the sweep (DESIGN.md
+ * section 7, "Thread confinement").
+ */
 class Trace
 {
   public:
@@ -33,7 +45,8 @@ class Trace
     static void
     enable(TraceCat cat, bool on = true)
     {
-        flags()[static_cast<unsigned>(cat)] = on;
+        flags()[static_cast<unsigned>(cat)].store(
+            on, std::memory_order_release);
     }
 
     /** Enable every category (verbose protocol dumps). */
@@ -42,7 +55,7 @@ class Trace
     {
         for (unsigned i = 0;
              i < static_cast<unsigned>(TraceCat::NumCats); ++i) {
-            flags()[i] = on;
+            flags()[i].store(on, std::memory_order_release);
         }
     }
 
@@ -50,14 +63,16 @@ class Trace
     static bool
     on(TraceCat cat)
     {
-        return flags()[static_cast<unsigned>(cat)];
+        return flags()[static_cast<unsigned>(cat)].load(
+            std::memory_order_relaxed);
     }
 
   private:
-    static bool *
+    static std::atomic<bool> *
     flags()
     {
-        static bool f[static_cast<unsigned>(TraceCat::NumCats)] = {};
+        static std::atomic<bool>
+            f[static_cast<unsigned>(TraceCat::NumCats)] = {};
         return f;
     }
 };

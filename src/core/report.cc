@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <unordered_map>
+
+#include "common/flat_map.hh"
 
 namespace tcc {
 
@@ -153,7 +154,7 @@ trafficRowText(const TrafficRow &row)
 std::vector<ConflictHotspot>
 conflictHotspots(const System &sys, std::size_t top_n)
 {
-    std::unordered_map<Addr, std::uint64_t> merged;
+    FlatMap<Addr, std::uint64_t> merged;
     for (NodeId p = 0; p < sys.numProcs(); ++p)
         for (const auto &[addr, n] :
              sys.proc(p).stats().violationAddrs)
@@ -162,9 +163,13 @@ conflictHotspots(const System &sys, std::size_t top_n)
     all.reserve(merged.size());
     for (const auto &[addr, n] : merged)
         all.push_back(ConflictHotspot{addr, n});
+    // Tie-break on address so the report is independent of container
+    // iteration order.
     std::sort(all.begin(), all.end(),
               [](const ConflictHotspot &a, const ConflictHotspot &b) {
-                  return a.violations > b.violations;
+                  if (a.violations != b.violations)
+                      return a.violations > b.violations;
+                  return a.lineAddr < b.lineAddr;
               });
     if (all.size() > top_n)
         all.resize(top_n);

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <deque>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/nodeset.hh"
 #include "common/types.hh"
 #include "mem/global_store.hh"
@@ -209,7 +209,9 @@ class Directory
     /** skipWindow[i] == true means TID nowServing + i is retired. */
     std::deque<bool> skipWindow;
 
-    std::unordered_map<Addr, Entry> entries;
+    /** Per-line protocol state, touched once per directory message:
+     *  open addressing keeps the lookup a single probe, no chase. */
+    FlatMap<Addr, Entry> entries;
     PendingCommit pending;
 
     /** Probes waiting for their TID condition. */
@@ -220,7 +222,7 @@ class Directory
     /** Directory-cache recency tracking (LRU over entry addresses). */
     Tick dirCachePenalty(Addr lineAddr);
     std::list<Addr> lruList;
-    std::unordered_map<Addr, std::list<Addr>::iterator> lruIndex;
+    FlatMap<Addr, std::list<Addr>::iterator> lruIndex;
 
     /** Single-server occupancy model. */
     Tick busyUntil = 0;

@@ -17,8 +17,8 @@
 #define TCC_MEM_GLOBAL_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace tcc {
@@ -51,7 +51,8 @@ class GlobalStore
     static Addr wordAlign(Addr a) { return a & ~(kWordBytes - 1); }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> words;
+    /** Open-addressing map: read() is on the per-access hot path. */
+    FlatMap<Addr, std::uint64_t> words;
 };
 
 } // namespace tcc

@@ -9,8 +9,8 @@
 #define TCC_MEM_HOME_MAP_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -92,7 +92,8 @@ class HomeMap
     std::uint32_t numNodes;
     HomePolicy homePolicy;
     std::uint32_t pageBytes;
-    std::unordered_map<Addr, NodeId> firstTouch;
+    /** homeOf() runs once per simulated access: keep it flat. */
+    FlatMap<Addr, NodeId> firstTouch;
 };
 
 } // namespace tcc

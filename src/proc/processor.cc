@@ -590,11 +590,8 @@ TccProcessor::completeCommit()
     // serialization point in the functional model.
     for (const auto &[addr, value] : writeBuf)
         globalStore.write(addr, value);
-    if (commitHook) {
-        std::vector<std::pair<Addr, std::uint64_t>> writes(
-            writeBuf.begin(), writeBuf.end());
-        commitHook(tid, nodeId, readLog, writes);
-    }
+    if (commitHook)
+        commitHook(tid, nodeId, readLog, writeLogForHook());
 
     for (NodeId d : wDirs) {
         Message c;
@@ -670,6 +667,16 @@ TccProcessor::startSoloAcquisition()
     }
 }
 
+std::vector<std::pair<Addr, std::uint64_t>>
+TccProcessor::writeLogForHook() const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> writes;
+    writes.reserve(writeBuf.size());
+    for (const auto &[addr, value] : writeBuf)
+        writes.emplace_back(addr, value);
+    return writes;
+}
+
 void
 TccProcessor::startDrain()
 {
@@ -680,15 +687,20 @@ TccProcessor::startDrain()
     for (const auto &[addr, value] : writeBuf)
         globalStore.write(addr, value);
 
-    std::unordered_map<NodeId, std::vector<SpecCache::WriteSetLine>>
-        by_dir;
+    FlatMap<NodeId, std::vector<SpecCache::WriteSetLine>> by_dir;
     for (const auto &line : specCache.writeSet())
         by_dir[homeOf(line.lineAddr)].push_back(line);
     if (by_dir.empty())
         panic("proc %u: solo overflow with empty write set", nodeId);
 
+    // Emit batches in ascending directory order: message order must be
+    // a function of the write set, never of container iteration order.
     drainAcksPending = static_cast<std::uint32_t>(by_dir.size());
-    for (const auto &[d, lines] : by_dir) {
+    for (NodeId d = 0; d < numNodes; ++d) {
+        auto it = by_dir.find(d);
+        if (it == by_dir.end())
+            continue;
+        const auto &lines = it->second;
         for (const auto &line : lines) {
             Message m;
             m.type = MsgType::Mark;
@@ -727,16 +739,18 @@ TccProcessor::soloCommit()
     validated = true;
     for (const auto &[addr, value] : writeBuf)
         globalStore.write(addr, value);
-    if (commitHook) {
-        std::vector<std::pair<Addr, std::uint64_t>> writes(
-            writeBuf.begin(), writeBuf.end());
-        commitHook(tid, nodeId, readLog, writes);
-    }
+    if (commitHook)
+        commitHook(tid, nodeId, readLog, writeLogForHook());
 
     // Remaining (undrained) write-set lines commit normally; every
     // other directory - including ones that only saw partial batches -
-    // gets a Skip so the TID retires everywhere.
-    for (const auto &[d, lines] : writeSetByDir) {
+    // gets a Skip so the TID retires everywhere. Directories are
+    // visited in ascending order for deterministic message emission.
+    for (NodeId d = 0; d < numNodes; ++d) {
+        auto it = writeSetByDir.find(d);
+        if (it == writeSetByDir.end())
+            continue;
+        const auto &lines = it->second;
         for (const auto &line : lines) {
             Message m;
             m.type = MsgType::Mark;

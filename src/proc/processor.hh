@@ -32,11 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/spec_cache.hh"
+#include "common/flat_map.hh"
 #include "common/nodeset.hh"
 #include "common/types.hh"
 #include "mem/global_store.hh"
@@ -143,7 +142,7 @@ class TccProcessor
          * diagnosing violations/starvation): violation counts keyed by
          * the conflicting line address.
          */
-        std::unordered_map<Addr, std::uint64_t> violationAddrs;
+        FlatMap<Addr, std::uint64_t> violationAddrs;
 
         // Table 3 distributions (committed transactions only).
         Distribution txnInstructions;
@@ -181,6 +180,8 @@ class TccProcessor
     NodeId homeOf(Addr addr);
 
     // --- commit engine ----------------------------------------------
+    /** (addr, value) pairs of the write buffer for the commit hook. */
+    std::vector<std::pair<Addr, std::uint64_t>> writeLogForHook() const;
     void startCommit();
     void recordCommitStats(std::size_t dirs_touched);
     void proceedAfterTid();
@@ -225,8 +226,9 @@ class TccProcessor
     std::vector<TxOp> curOps;
     std::size_t opIdx = 0;
     std::uint64_t lastLoaded = 0;
-    /** Speculative write buffer: word address -> value. */
-    std::unordered_map<Addr, std::uint64_t> writeBuf;
+    /** Speculative write buffer: word address -> value. Probed on
+     *  every load and store; cleared (not deallocated) per attempt. */
+    FlatMap<Addr, std::uint64_t> writeBuf;
     /** (addr, value) pairs read from committed state (checker log). */
     std::vector<std::pair<Addr, std::uint64_t>> readLog;
     NodeSet sharingVec;
@@ -244,11 +246,11 @@ class TccProcessor
     Tick commitStart = 0;
     std::vector<NodeId> wDirs;
     std::vector<NodeId> sOnlyDirs;
-    std::unordered_map<NodeId, Tid> earlyAnswers;
-    std::unordered_set<NodeId> marksDone;
-    std::unordered_set<NodeId> sValidated;
-    std::unordered_map<NodeId, std::uint32_t> marksCount;
-    std::unordered_map<NodeId, std::vector<SpecCache::WriteSetLine>>
+    FlatMap<NodeId, Tid> earlyAnswers;
+    FlatSet<NodeId> marksDone;
+    FlatSet<NodeId> sValidated;
+    FlatMap<NodeId, std::uint32_t> marksCount;
+    FlatMap<NodeId, std::vector<SpecCache::WriteSetLine>>
         writeSetByDir;
 
     // --- miss handling -----------------------------------------------

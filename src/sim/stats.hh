@@ -19,7 +19,9 @@ namespace tcc {
  * A sampled distribution supporting mean and percentile queries.
  * Stores every sample; our runs are small enough (tens of thousands of
  * transactions) that this is the simplest correct choice. Percentile
- * queries sort lazily.
+ * queries select into a local copy, so const readers never mutate
+ * shared state and a Distribution can be read from several sweep
+ * threads at once.
  */
 class Distribution
 {
@@ -29,7 +31,6 @@ class Distribution
     sample(double v)
     {
         samples.push_back(v);
-        sorted = false;
     }
 
     /** Number of samples recorded. */
@@ -67,13 +68,17 @@ class Distribution
     {
         if (samples.empty())
             return 0.0;
-        sortIfNeeded();
         const double rank = p / 100.0 *
             static_cast<double>(samples.size() - 1);
         auto idx = static_cast<std::size_t>(rank + 0.5);
         if (idx >= samples.size())
             idx = samples.size() - 1;
-        return samples[idx];
+        // Select into a scratch copy: percentile() stays genuinely
+        // const, so concurrent readers need no synchronization.
+        std::vector<double> scratch = samples;
+        std::nth_element(scratch.begin(), scratch.begin() + idx,
+                         scratch.end());
+        return scratch[idx];
     }
 
     /** Largest sample, or 0 with no samples. */
@@ -82,8 +87,7 @@ class Distribution
     {
         if (samples.empty())
             return 0.0;
-        sortIfNeeded();
-        return samples.back();
+        return *std::max_element(samples.begin(), samples.end());
     }
 
     /** Discard all samples. */
@@ -91,7 +95,6 @@ class Distribution
     reset()
     {
         samples.clear();
-        sorted = false;
     }
 
     /** Merge all samples of @p other into this distribution. */
@@ -100,21 +103,10 @@ class Distribution
     {
         samples.insert(samples.end(), other.samples.begin(),
                        other.samples.end());
-        sorted = false;
     }
 
   private:
-    void
-    sortIfNeeded() const
-    {
-        if (!sorted) {
-            std::sort(samples.begin(), samples.end());
-            sorted = true;
-        }
-    }
-
-    mutable std::vector<double> samples;
-    mutable bool sorted = false;
+    std::vector<double> samples;
 };
 
 } // namespace tcc

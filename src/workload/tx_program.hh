@@ -35,10 +35,10 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "mem/global_store.hh"
 #include "workload/transaction_source.hh"
 
@@ -91,7 +91,7 @@ class TxContext
     explicit TxContext(const GlobalStore &m) : mem(m) {}
 
     const GlobalStore &mem;
-    std::unordered_map<Addr, std::uint64_t> localWrites;
+    FlatMap<Addr, std::uint64_t> localWrites;
     std::vector<TxOp> ops;
 };
 

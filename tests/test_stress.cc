@@ -11,12 +11,20 @@
  *   2. quiescence - every directory retired every issued TID and no
  *      protocol state is left in flight;
  *   3. progress - every generated transaction committed.
+ *
+ * The parameter sweep runs through SweepRunner: every configuration
+ * simulates concurrently on a worker (each System is thread-confined),
+ * and the invariants are asserted serially afterwards - gtest
+ * assertions are not thread-safe, so no EXPECT runs off the main
+ * thread.
  */
 
 #include <gtest/gtest.h>
 
-#include <tuple>
+#include <sstream>
+#include <string>
 
+#include "core/sweep.hh"
 #include "core/system.hh"
 #include "sim/random.hh"
 #include "workload/scripted_source.hh"
@@ -35,9 +43,8 @@ struct StressParam {
 };
 
 std::string
-paramName(const ::testing::TestParamInfo<StressParam> &info)
+paramName(const StressParam &p)
 {
-    const auto &p = info.param;
     std::string s = "seed" + std::to_string(p.seed) + "_p" +
                     std::to_string(p.procs) +
                     (p.gran == Granularity::Word ? "_word" : "_line") +
@@ -49,10 +56,6 @@ paramName(const ::testing::TestParamInfo<StressParam> &info)
         s += "_dc" + std::to_string(p.dirCacheEntries);
     return s;
 }
-
-class StressTest : public ::testing::TestWithParam<StressParam>
-{
-};
 
 /**
  * Build a random conflict-heavy workload: each processor runs
@@ -100,9 +103,20 @@ buildWorkload(const StressParam &p, std::uint32_t txns_per_proc)
     return srcs;
 }
 
-TEST_P(StressTest, SerializableQuiescentAndLive)
+/** Everything the main thread asserts about one finished run. */
+struct StressResult {
+    bool completed = false;
+    bool allCommitted = false;
+    bool checkerOk = false;
+    std::string checkerError;
+    bool quiesced = false;
+    bool memoryOk = false;
+    std::string memoryError;
+};
+
+StressResult
+runStress(const StressParam &p)
 {
-    const auto &p = GetParam();
     SystemConfig cfg;
     cfg.numProcs = p.procs;
     cfg.enableChecker = true;
@@ -120,26 +134,62 @@ TEST_P(StressTest, SerializableQuiescentAndLive)
         sys.setSource(n, &srcs[n]);
 
     auto res = sys.run(1'000'000'000ull);
-    ASSERT_TRUE(res.completed) << "stuck (livelock or lost message)";
+    StressResult out;
+    out.completed = res.completed;
+    if (!out.completed)
+        return out;
 
     // Progress: every transaction committed exactly once.
+    out.allCommitted = true;
     for (NodeId n = 0; n < p.procs; ++n)
-        EXPECT_EQ(srcs[n].committed(), kTxns) << "proc " << n;
+        if (srcs[n].committed() != kTxns)
+            out.allCommitted = false;
 
     // Serializability.
     auto check = sys.checker().verify();
-    EXPECT_TRUE(check.ok) << check.error;
+    out.checkerOk = check.ok;
+    out.checkerError = check.error;
 
     // Quiescence.
-    EXPECT_TRUE(sys.protocolQuiesced());
+    out.quiesced = sys.protocolQuiesced();
 
     // Hot counters must equal the number of increments recorded by
     // the replay (conservation is implied by the checker, but verify
     // the simulator's memory too).
+    out.memoryOk = true;
     auto final_state = sys.checker().replayFinalState();
-    for (const auto &[addr, val] : final_state)
-        EXPECT_EQ(sys.memory().read(addr), val)
-            << "memory mismatch at " << std::hex << addr;
+    for (const auto &[addr, val] : final_state) {
+        if (sys.memory().read(addr) != val) {
+            out.memoryOk = false;
+            std::ostringstream os;
+            os << "memory mismatch at " << std::hex << addr;
+            out.memoryError = os.str();
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<StressParam> makeParams();
+
+TEST(StressSweep, SerializableQuiescentAndLive)
+{
+    const auto params = makeParams();
+    SweepRunner runner; // TCC_JOBS / hardware concurrency
+    const auto results = sweepIndex<StressResult>(
+        runner, params.size(),
+        [&](std::size_t i) { return runStress(params[i]); });
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        SCOPED_TRACE(paramName(params[i]));
+        const auto &r = results[i];
+        ASSERT_TRUE(r.completed)
+            << "stuck (livelock or lost message)";
+        EXPECT_TRUE(r.allCommitted);
+        EXPECT_TRUE(r.checkerOk) << r.checkerError;
+        EXPECT_TRUE(r.quiesced);
+        EXPECT_TRUE(r.memoryOk) << r.memoryError;
+    }
 }
 
 std::vector<StressParam>
@@ -190,9 +240,6 @@ makeParams()
     ps.push_back({72, 32, Granularity::Word, 0, false});
     return ps;
 }
-
-INSTANTIATE_TEST_SUITE_P(Sweep, StressTest,
-                         ::testing::ValuesIn(makeParams()), paramName);
 
 // ---------------------------------------------------------------------
 // Tiny-cache stress: overflow handling under pressure.
