@@ -38,6 +38,9 @@ struct RunOutcome {
     std::uint64_t violations = 0;
     std::uint64_t committedInstructions = 0;
     std::uint64_t dirCacheMisses = 0;
+    /** Memory footprint of the run's arena (see common/arena.hh). */
+    std::uint64_t arenaPeakBytes = 0;
+    std::uint64_t arenaChunks = 0;
 };
 
 /** Tweaks applied on top of the default Table 2 configuration. */
@@ -87,6 +90,9 @@ runApp(const AppProfile &profile, const RunOptions &opt)
         out.dirCacheMisses += sys.directory(p).stats().dirCacheMisses;
     }
     out.committedInstructions = sys.committedInstructions();
+    const Arena::Stats as = sys.arenaStats();
+    out.arenaPeakBytes = as.peakBytes;
+    out.arenaChunks = as.chunks;
     return out;
 }
 

@@ -31,6 +31,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/system.hh"
@@ -39,6 +40,12 @@
 #include "sim/pool.hh"
 #include "sim/random.hh"
 #include "workload/synthetic_app.hh"
+
+// Configure-time git revision (set by bench/CMakeLists.txt) so each
+// BENCH_*.json records what code produced it.
+#ifndef TCC_GIT_REV
+#define TCC_GIT_REV "unknown"
+#endif
 
 namespace {
 
@@ -213,6 +220,8 @@ struct EndToEndResult {
     double eventsPerSec = 0;
     std::uint64_t simCycles = 0;
     std::uint64_t events = 0;
+    std::uint64_t arenaPeakBytes = 0;
+    std::uint64_t arenaChunks = 0;
 };
 
 /** Table 2 machine: 16 CPUs, 2D mesh, SPLASH-2-calibrated workload. */
@@ -235,6 +244,9 @@ endToEnd(std::uint32_t txns_per_phase)
     out.events = res.events;
     out.cyclesPerSec = static_cast<double>(res.cycles) / s;
     out.eventsPerSec = static_cast<double>(res.events) / s;
+    const Arena::Stats as = sys.arenaStats();
+    out.arenaPeakBytes = as.peakBytes;
+    out.arenaChunks = as.chunks;
     return out;
 }
 
@@ -277,6 +289,10 @@ main(int argc, char **argv)
                 "(%llu cycles, %llu events)\n",
                 e2e.cyclesPerSec, (unsigned long long)e2e.simCycles,
                 (unsigned long long)e2e.events);
+    std::printf("arena               : %12llu peak bytes in %llu "
+                "chunks\n",
+                (unsigned long long)e2e.arenaPeakBytes,
+                (unsigned long long)e2e.arenaChunks);
 
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
@@ -292,6 +308,10 @@ main(int argc, char **argv)
         "  \"reference_events_per_sec\": %.0f,\n"
         "  \"speedup_vs_seed_kernel\": %.3f,\n"
         "  \"end_to_end_events_per_sec\": %.0f,\n"
+        "  \"arena_peak_bytes\": %llu,\n"
+        "  \"arena_chunks\": %llu,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"git_rev\": \"%s\",\n"
         "  \"config\": {\n"
         "    \"smoke\": %s,\n"
         "    \"kernel_events\": %llu,\n"
@@ -302,8 +322,11 @@ main(int argc, char **argv)
         "  }\n"
         "}\n",
         newRate, e2e.cyclesPerSec, refRate, newRate / refRate,
-        e2e.eventsPerSec, smoke ? "true" : "false",
-        (unsigned long long)kernelEvents, kChains, txnsPerPhase);
+        e2e.eventsPerSec, (unsigned long long)e2e.arenaPeakBytes,
+        (unsigned long long)e2e.arenaChunks,
+        std::thread::hardware_concurrency(), TCC_GIT_REV,
+        smoke ? "true" : "false", (unsigned long long)kernelEvents,
+        kChains, txnsPerPhase);
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());
     return 0;

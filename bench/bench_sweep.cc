@@ -23,9 +23,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
+
+// Configure-time git revision (set by bench/CMakeLists.txt) so each
+// BENCH_*.json records what code produced it.
+#ifndef TCC_GIT_REV
+#define TCC_GIT_REV "unknown"
+#endif
 
 namespace {
 
@@ -81,8 +88,14 @@ runGrid(const std::vector<GridCell> &grid, unsigned jobs)
         });
 }
 
+struct FlatMapResult {
+    double eventsPerSec = 0;
+    std::uint64_t arenaPeakBytes = 0;
+    std::uint64_t arenaChunks = 0;
+};
+
 /** One timed end-to-end run; events/sec exercises the flat maps. */
-double
+FlatMapResult
 flatMapEventsPerSec(std::uint32_t txns_per_phase)
 {
     SystemConfig cfg;
@@ -95,7 +108,12 @@ flatMapEventsPerSec(std::uint32_t txns_per_phase)
     const auto t0 = std::chrono::steady_clock::now();
     auto res = sys.run();
     const auto t1 = std::chrono::steady_clock::now();
-    return static_cast<double>(res.events) / seconds(t0, t1);
+    FlatMapResult out;
+    out.eventsPerSec = static_cast<double>(res.events) / seconds(t0, t1);
+    const Arena::Stats as = sys.arenaStats();
+    out.arenaPeakBytes = as.peakBytes;
+    out.arenaChunks = as.chunks;
+    return out;
 }
 
 } // namespace
@@ -174,9 +192,14 @@ main(int argc, char **argv)
     const double speedup = serialSec / parallelSec;
     std::printf("speedup            : %8.2fx\n", speedup);
 
-    const double flatRate =
+    const FlatMapResult flat =
         flatMapEventsPerSec(smoke ? 32u : 1024u);
-    std::printf("flat-map e2e       : %12.0f events/sec\n", flatRate);
+    std::printf("flat-map e2e       : %12.0f events/sec\n",
+                flat.eventsPerSec);
+    std::printf("arena              : %12llu peak bytes in %llu "
+                "chunks\n",
+                (unsigned long long)flat.arenaPeakBytes,
+                (unsigned long long)flat.arenaChunks);
 
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
@@ -184,6 +207,7 @@ main(int argc, char **argv)
                      outPath.c_str());
         return 1;
     }
+    const unsigned hw = std::thread::hardware_concurrency();
     std::fprintf(f,
                  "{\n"
                  "  \"serial_sec\": %.6f,\n"
@@ -191,6 +215,10 @@ main(int argc, char **argv)
                  "  \"jobs\": %u,\n"
                  "  \"speedup\": %.3f,\n"
                  "  \"flatmap_events_per_sec\": %.0f,\n"
+                 "  \"arena_peak_bytes\": %llu,\n"
+                 "  \"arena_chunks\": %llu,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"git_rev\": \"%s\",\n"
                  "  \"config\": {\n"
                  "    \"smoke\": %s,\n"
                  "    \"apps\": %zu,\n"
@@ -198,9 +226,27 @@ main(int argc, char **argv)
                  "    \"procs\": [8, 16]\n"
                  "  }\n"
                  "}\n",
-                 serialSec, parallelSec, jobs, speedup, flatRate,
+                 serialSec, parallelSec, jobs, speedup,
+                 flat.eventsPerSec,
+                 (unsigned long long)flat.arenaPeakBytes,
+                 (unsigned long long)flat.arenaChunks, hw, TCC_GIT_REV,
                  smoke ? "true" : "false", nApps, grid.size());
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());
+
+    // Regression gate: on a machine with real parallelism, a parallel
+    // sweep that loses to the serial loop means the workers are
+    // contending on something (allocator, false sharing) and the
+    // parallel engine has regressed. Machines with one hardware
+    // thread can't speed up by oversubscribing, so the gate only
+    // arms when the hardware can actually run workers side by side
+    // (the JSON's hardware_concurrency key says which case this was).
+    if (!smoke && jobs > 1 && hw > 1 && speedup < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: parallel sweep slower than serial "
+                     "(%.2fx with %u jobs on %u hardware threads)\n",
+                     speedup, jobs, hw);
+        return 1;
+    }
     return 0;
 }

@@ -1,10 +1,10 @@
 # Validate the schema of a machine-readable bench JSON (BENCH_kernel,
-# BENCH_sweep, ...): required top-level numeric fields plus a config
-# object. Run as
+# BENCH_sweep, ...): required top-level numeric fields, optional
+# required string fields, plus a config object. Run as
 #   cmake -DJSON_FILE=<path> [-DREQUIRED_KEYS=a,b,c] \
-#         -P validate_bench_json.cmake
-# REQUIRED_KEYS is comma-separated; it defaults to the bench_kernel
-# schema for backward compatibility.
+#         [-DREQUIRED_STRING_KEYS=d,e] -P validate_bench_json.cmake
+# Both key lists are comma-separated; REQUIRED_KEYS defaults to the
+# bench_kernel schema for backward compatibility.
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "pass -DJSON_FILE=<path>")
 endif()
@@ -12,6 +12,7 @@ if(NOT DEFINED REQUIRED_KEYS)
   set(REQUIRED_KEYS "events_per_sec,cycles_per_sec")
 endif()
 string(REPLACE "," ";" key_list "${REQUIRED_KEYS}")
+string(REPLACE "," ";" string_key_list "${REQUIRED_STRING_KEYS}")
 
 file(READ "${JSON_FILE}" doc)
 
@@ -23,6 +24,21 @@ foreach(key IN LISTS key_list)
   if(NOT val MATCHES "^[0-9]+(\\.[0-9]+)?$")
     message(FATAL_ERROR
             "${JSON_FILE}: key '${key}' is not numeric: '${val}'")
+  endif()
+endforeach()
+
+foreach(key IN LISTS string_key_list)
+  string(JSON ktype ERROR_VARIABLE err TYPE "${doc}" "${key}")
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
+  endif()
+  if(NOT ktype STREQUAL "STRING")
+    message(FATAL_ERROR
+            "${JSON_FILE}: key '${key}' is not a string (${ktype})")
+  endif()
+  string(JSON val GET "${doc}" "${key}")
+  if(val STREQUAL "")
+    message(FATAL_ERROR "${JSON_FILE}: key '${key}' is empty")
   endif()
 endforeach()
 

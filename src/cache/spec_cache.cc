@@ -12,7 +12,10 @@ isPow2(std::uint32_t v)
 
 } // namespace
 
-SpecCache::SpecCache(const CacheConfig &cfg) : config(cfg)
+SpecCache::SpecCache(const CacheConfig &cfg, Arena *arena)
+    : config(cfg), lines(ArenaAllocator<Line>(arena)),
+      l1Tags(ArenaAllocator<L1Tag>(arena)),
+      specSlots(ArenaAllocator<std::uint32_t>(arena))
 {
     if (!isPow2(cfg.lineBytes) || cfg.lineBytes < 4)
         fatal("line size must be a power of two >= 4");

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -58,7 +59,8 @@ using WordMask = std::uint64_t;
 class SpecCache
 {
   public:
-    explicit SpecCache(const CacheConfig &cfg);
+    /** @param arena backs the tag/state arrays (nullptr = heap). */
+    explicit SpecCache(const CacheConfig &cfg, Arena *arena = nullptr);
 
     /** Number of 4-byte words per line. */
     std::uint32_t wordsPerLine() const { return lineWords; }
@@ -264,10 +266,12 @@ class SpecCache
     std::uint32_t lineWords;
     std::uint32_t l2Sets;
     std::uint32_t l1Sets;
-    std::vector<Line> lines;    ///< l2Sets x l2Assoc
-    std::vector<L1Tag> l1Tags;  ///< l1Sets x l1Assoc
+    /// l2Sets x l2Assoc
+    std::vector<Line, ArenaAllocator<Line>> lines;
+    /// l1Sets x l1Assoc
+    std::vector<L1Tag, ArenaAllocator<L1Tag>> l1Tags;
     /** (set, way) slots holding speculative state, for O(txn) cleanup. */
-    std::vector<std::uint32_t> specSlots;
+    std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> specSlots;
     std::uint64_t lruClock = 0;
     bool srTracking = true;
     Stats cacheStats;

@@ -43,6 +43,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
+
 namespace tcc {
 
 namespace detail {
@@ -96,6 +98,17 @@ class FlatMap
     FlatMap() = default;
 
     explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+    /** Back the table with @p arena (nullptr = global heap). */
+    explicit FlatMap(Arena *arena)
+        : slots(ArenaAllocator<Slot>(arena)),
+          meta(ArenaAllocator<std::uint8_t>(arena))
+    {}
+
+    FlatMap(Arena *arena, std::size_t expected) : FlatMap(arena)
+    {
+        reserve(expected);
+    }
 
     std::size_t size() const { return used; }
     bool empty() const { return used == 0; }
@@ -366,8 +379,12 @@ class FlatMap
     void
     rehash(std::size_t new_cap)
     {
-        std::vector<Slot> old_slots = std::move(slots);
-        std::vector<std::uint8_t> old_meta = std::move(meta);
+        // Move-construction carries the (possibly arena-backed)
+        // allocator into the temporaries; assign() reuses the
+        // moved-from vectors' allocators, so the table stays in its
+        // arena across growth.
+        SlotVec old_slots = std::move(slots);
+        MetaVec old_meta = std::move(meta);
         slots.assign(new_cap, Slot{});
         meta.assign(new_cap, 0);
         used = 0;
@@ -387,8 +404,12 @@ class FlatMap
         slots[at].second = std::move(v);
     }
 
-    std::vector<Slot> slots;
-    std::vector<std::uint8_t> meta;
+    using SlotVec = std::vector<Slot, ArenaAllocator<Slot>>;
+    using MetaVec = std::vector<std::uint8_t,
+                                ArenaAllocator<std::uint8_t>>;
+
+    SlotVec slots;
+    MetaVec meta;
     std::size_t used = 0;
 };
 
@@ -407,6 +428,9 @@ class FlatSet
   public:
     FlatSet() = default;
     explicit FlatSet(std::size_t expected) : map(expected) {}
+    explicit FlatSet(Arena *arena) : map(arena) {}
+    FlatSet(Arena *arena, std::size_t expected) : map(arena, expected)
+    {}
 
     std::size_t size() const { return map.size(); }
     bool empty() const { return map.empty(); }

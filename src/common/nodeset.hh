@@ -1,8 +1,18 @@
 /**
  * @file
- * NodeSet: a small dynamic bit set over node IDs. Used for directory
- * sharers lists and for the per-processor Sharing and Writing vectors
- * (Figure 1b / Figure 4 of the paper).
+ * NodeSet: a small fixed-capacity bit set over node IDs. Used for
+ * directory sharers lists and for the per-processor Sharing and
+ * Writing vectors (Figure 1b / Figure 4 of the paper), and - since the
+ * bitmap set-algebra work - for the commit engine's per-directory
+ * bookkeeping (marks-done, validated, early-answer membership).
+ *
+ * Storage is an inline array of 64-bit words (no heap): the set is
+ * trivially copyable, assignment is a word copy, and membership /
+ * emptiness / population checks compile to single AND / OR / POPCNT
+ * instructions over at most kMaxWords words. Iteration uses
+ * count-trailing-zeros over each word, so forEach visits members in
+ * increasing node order - call sites that emit protocol messages rely
+ * on that for deterministic emission.
  */
 
 #ifndef TCC_COMMON_NODESET_HH
@@ -12,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace tcc {
@@ -25,12 +36,19 @@ namespace tcc {
 class NodeSet
 {
   public:
+    /** Largest system this inline representation supports. */
+    static constexpr std::uint32_t kMaxNodes = 256;
+    static constexpr std::size_t kMaxWords = kMaxNodes / 64;
+
     NodeSet() = default;
 
     /** Construct an empty set able to hold nodes [0, num_nodes). */
-    explicit NodeSet(std::uint32_t num_nodes)
-        : numNodes(num_nodes), words((num_nodes + 63) / 64, 0)
-    {}
+    explicit NodeSet(std::uint32_t num_nodes) : numNodes(num_nodes)
+    {
+        if (num_nodes > kMaxNodes)
+            fatal("NodeSet capacity %u exceeds kMaxNodes (%u)",
+                  num_nodes, kMaxNodes);
+    }
 
     /** Number of node IDs this set can hold. */
     std::uint32_t capacity() const { return numNodes; }
@@ -55,8 +73,8 @@ class NodeSet
     void
     clearAll()
     {
-        for (auto &w : words)
-            w = 0;
+        for (std::size_t i = 0; i < wordCount(); ++i)
+            words[i] = 0;
     }
 
     /** @return true iff @p n is in the set. */
@@ -71,8 +89,8 @@ class NodeSet
     bool
     empty() const
     {
-        for (auto w : words)
-            if (w)
+        for (std::size_t i = 0; i < wordCount(); ++i)
+            if (words[i])
                 return false;
         return true;
     }
@@ -82,9 +100,42 @@ class NodeSet
     count() const
     {
         std::uint32_t c = 0;
-        for (auto w : words)
-            c += static_cast<std::uint32_t>(__builtin_popcountll(w));
+        for (std::size_t i = 0; i < wordCount(); ++i)
+            c += static_cast<std::uint32_t>(
+                __builtin_popcountll(words[i]));
         return c;
+    }
+
+    /**
+     * @return true iff the set contains any member other than @p self.
+     * Word algebra for the directory's remote-sharer test: mask out
+     * self's bit and OR the words - no per-member iteration.
+     */
+    bool
+    anyBesides(NodeId self) const
+    {
+        std::uint64_t acc = 0;
+        const std::size_t sw = self >> 6;
+        for (std::size_t i = 0; i < wordCount(); ++i) {
+            std::uint64_t w = words[i];
+            if (i == sw)
+                w &= ~(std::uint64_t{1} << (self & 63));
+            acc |= w;
+        }
+        return acc != 0;
+    }
+
+    /** @return true iff this set and @p o share a member (AND test). */
+    bool
+    intersects(const NodeSet &o) const
+    {
+        std::uint64_t acc = 0;
+        const std::size_t n = wordCount() < o.wordCount()
+                                  ? wordCount()
+                                  : o.wordCount();
+        for (std::size_t i = 0; i < n; ++i)
+            acc |= words[i] & o.words[i];
+        return acc != 0;
     }
 
     /** Invoke @p fn for every member, in increasing node order. */
@@ -92,7 +143,7 @@ class NodeSet
     void
     forEach(Fn &&fn) const
     {
-        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        for (std::size_t wi = 0; wi < wordCount(); ++wi) {
             std::uint64_t w = words[wi];
             while (w) {
                 const int bit = __builtin_ctzll(w);
@@ -114,12 +165,23 @@ class NodeSet
     bool
     operator==(const NodeSet &o) const
     {
-        return numNodes == o.numNodes && words == o.words;
+        if (numNodes != o.numNodes)
+            return false;
+        for (std::size_t i = 0; i < wordCount(); ++i)
+            if (words[i] != o.words[i])
+                return false;
+        return true;
     }
 
   private:
+    std::size_t
+    wordCount() const
+    {
+        return (numNodes + 63) >> 6;
+    }
+
     std::uint32_t numNodes = 0;
-    std::vector<std::uint64_t> words;
+    std::uint64_t words[kMaxWords] = {};
 };
 
 } // namespace tcc

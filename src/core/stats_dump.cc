@@ -50,6 +50,9 @@ dumpStats(const System &sys, std::ostream &os)
     line(os, "system.violation_cycles", bd.violation);
     line(os, "system.tids_issued", sys.vendor().issued());
     line(os, "system.quiesced", sys.protocolQuiesced() ? 1 : 0);
+    const Arena::Stats as = sys.arenaStats();
+    line(os, "system.arena_peak_bytes", as.peakBytes);
+    line(os, "system.arena_chunks", as.chunks);
 
     // --- network -------------------------------------------------------
     const auto &ns = sys.network().stats();

@@ -81,7 +81,13 @@ class SweepRunner
     void wait();
 
   private:
-    struct Worker {
+    /**
+     * Cache-line aligned so two workers' mutexes and deque headers
+     * never share a line: each worker's hot pop path touches only its
+     * own line, and steals pay one coherence miss instead of
+     * ping-ponging a shared one.
+     */
+    struct alignas(64) Worker {
         std::mutex mtx;
         std::deque<std::function<void()>> queue;
     };
@@ -117,10 +123,20 @@ template <typename T, typename Fn>
 std::vector<T>
 sweepIndex(SweepRunner &runner, std::size_t n, Fn fn)
 {
-    std::vector<T> results(n);
+    // Each in-flight result gets its own cache line; adjacent jobs
+    // finishing on different workers would otherwise false-share one
+    // line of the results vector when they store their outcome.
+    struct alignas(64) Padded {
+        T value{};
+    };
+    std::vector<Padded> slots(n);
     for (std::size_t i = 0; i < n; ++i)
-        runner.submit([&results, fn, i]() { results[i] = fn(i); });
+        runner.submit([&slots, fn, i]() { slots[i].value = fn(i); });
     runner.wait();
+    std::vector<T> results;
+    results.reserve(n);
+    for (auto &s : slots)
+        results.push_back(std::move(s.value));
     return results;
 }
 

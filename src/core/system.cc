@@ -7,18 +7,19 @@
 namespace tcc {
 
 System::System(const SystemConfig &cfg)
-    : config(cfg),
-      homes(cfg.numProcs, cfg.homePolicy, cfg.pageBytes)
+    : config(cfg), eventq(&arena),
+      homes(cfg.numProcs, cfg.homePolicy, cfg.pageBytes, &arena),
+      store(&arena)
 {
     if (cfg.numProcs == 0)
         fatal("a system needs at least one processor");
 
     if (cfg.idealNetwork) {
         net = std::make_unique<IdealNetwork>(eventq, cfg.numProcs,
-                                             cfg.idealLatency);
+                                             cfg.idealLatency, &arena);
     } else {
         net = std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
-                                            cfg.mesh);
+                                            cfg.mesh, &arena);
     }
 
     tidVendor = std::make_unique<TidVendor>(0, eventq, *net,
@@ -31,10 +32,10 @@ System::System(const SystemConfig &cfg)
     proc_cfg.writeThroughCommit = cfg.writeThroughCommit;
     for (NodeId n = 0; n < cfg.numProcs; ++n) {
         dirs.push_back(std::make_unique<Directory>(
-            n, cfg.numProcs, eventq, *net, dir_cfg));
+            n, cfg.numProcs, eventq, *net, dir_cfg, &arena));
         procs.push_back(std::make_unique<TccProcessor>(
             n, cfg.numProcs, eventq, *net, homes, store, cfg.cache,
-            proc_cfg, /*vendor_node=*/0));
+            proc_cfg, /*vendor_node=*/0, &arena));
         procs.back()->setBarrier(
             [this](NodeId node, std::function<void()> resume) {
                 barrierArrive(node, std::move(resume));

@@ -27,6 +27,7 @@
 
 #include "cache/spec_cache.hh"
 #include "check/serial_checker.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "directory/directory.hh"
 #include "mem/global_store.hh"
@@ -125,6 +126,9 @@ class System
     const TidVendor &vendor() const { return *tidVendor; }
     const SystemConfig &cfg() const { return config; }
 
+    /** Memory footprint of this run's arena (reporting/benches). */
+    Arena::Stats arenaStats() const { return arena.stats(); }
+
     // --- aggregate reporting ------------------------------------------
     /** Sum of per-processor breakdown buckets. */
     Breakdown breakdown() const;
@@ -142,6 +146,13 @@ class System
     void checkBarrierRelease();
 
     SystemConfig config;
+    /**
+     * Run-private memory for every component below. Declared FIRST
+     * so it outlives them all (members destroy in reverse order):
+     * event-queue slabs, message pools, hash tables, and cache arrays
+     * all point into it.
+     */
+    Arena arena;
     EventQueue eventq;
     std::unique_ptr<Network> net;
     HomeMap homes;

@@ -8,9 +8,12 @@ namespace tcc {
 
 Directory::Directory(NodeId node, std::uint32_t num_nodes,
                      EventQueue &eq, Network &net,
-                     const DirectoryConfig &cfg)
+                     const DirectoryConfig &cfg, Arena *arena_)
     : nodeId(node), numNodes(num_nodes), eventq(eq), network(net),
-      config(cfg)
+      config(cfg), arena(arena_), skipWindow(arena_), entries(arena_),
+      deferredProbes(ArenaAllocator<Message>(arena_)),
+      stalledLoads(ArenaAllocator<Message>(arena_)), lruIndex(arena_),
+      msgPool(arena_)
 {
     // Size the entry map up front: with a directory cache configured
     // its LRU bounds the hot set; otherwise start with a generous
@@ -33,12 +36,8 @@ Directory::entry(Addr lineAddr)
 bool
 Directory::hasRemoteSharer(const Entry &e) const
 {
-    bool remote = false;
-    e.sharers.forEach([&](NodeId n) {
-        if (n != nodeId)
-            remote = true;
-    });
-    return remote;
+    // Word-level bitmap test: any sharer bit besides our own.
+    return e.sharers.anyBesides(nodeId);
 }
 
 void
@@ -251,28 +250,24 @@ Directory::recordSkip(Tid t)
               nodeId, (unsigned long long)t,
               (unsigned long long)nowServing);
     const std::size_t idx = static_cast<std::size_t>(t - nowServing);
-    if (skipWindow.size() <= idx)
-        skipWindow.resize(idx + 1, false);
-    if (skipWindow[idx])
+    if (skipWindow.test(idx))
         panic("dir %u: TID %llu retired twice", nodeId,
               (unsigned long long)t);
-    skipWindow[idx] = true;
+    skipWindow.set(idx);
 }
 
 void
 Directory::advance()
 {
-    bool moved = false;
-    while (!skipWindow.empty() && skipWindow.front()) {
-        skipWindow.pop_front();
-        ++nowServing;
-        moved = true;
-    }
-    if (!moved)
+    // Consume the Skip Vector's leading run of retired TIDs in one
+    // word-level pass (count-trailing-ones, no per-TID loop).
+    const std::size_t moved = skipWindow.popLeadingRun();
+    nowServing += moved;
+    if (moved == 0)
         return;
 
     // Release deferred probes whose condition now holds.
-    std::vector<Message> still;
+    MsgVec still(deferredProbes.get_allocator());
     still.reserve(deferredProbes.size());
     for (const Message &p : deferredProbes) {
         // A write probe is normally released when its TID is served
@@ -295,7 +290,7 @@ Directory::advance()
     deferredProbes.swap(still);
 
     // Re-dispatch loads that were stalled on marked lines.
-    std::vector<Message> loads;
+    MsgVec loads(stalledLoads.get_allocator());
     loads.swap(stalledLoads);
     for (const Message &m : loads)
         handleLoad(m);
@@ -458,17 +453,20 @@ Directory::finishCommit()
         // invalidation is sent to it.
         const WordMaskT inv_mask = e.markedWords;
         e.markedWords = 0;
-        std::vector<NodeId> to_inv;
-        e.sharers.forEach([&](NodeId n) {
-            if (n != pending.committer)
-                to_inv.push_back(n);
-        });
+        const std::uint32_t n_inv =
+            e.sharers.count() -
+            (e.sharers.test(pending.committer) ? 1 : 0);
         tracef(TraceCat::Dir,
-               "%llu: dir %u commit tid=%llu line=%llx invs=%zu",
+               "%llu: dir %u commit tid=%llu line=%llx invs=%u",
                (unsigned long long)eventq.now(), nodeId,
                (unsigned long long)pending.tid,
-               (unsigned long long)a, to_inv.size());
-        for (NodeId n : to_inv) {
+               (unsigned long long)a, n_inv);
+        // forEach visits in ascending node order (deterministic
+        // emission); each visited word is snapshotted before the
+        // clear() below mutates it, so in-place removal is safe.
+        e.sharers.forEach([&](NodeId n) {
+            if (n == pending.committer)
+                return;
             e.sharers.clear(n);
             Message inv;
             inv.type = MsgType::Inv;
@@ -479,7 +477,7 @@ Directory::finishCommit()
             post(inv);
             ++dirStats.invalidationsSent;
             ++pending.pendingAcks;
-        }
+        });
         noteSharerChange(e, before);
     }
     ++dirStats.commitsServed;

@@ -23,12 +23,13 @@
 #define TCC_DIRECTORY_DIRECTORY_HH
 
 #include <cstdint>
-#include <deque>
 #include <list>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/flat_map.hh"
 #include "common/nodeset.hh"
+#include "common/skip_vector.hh"
 #include "common/types.hh"
 #include "mem/global_store.hh"
 #include "mem/home_map.hh"
@@ -67,7 +68,8 @@ class Directory
 {
   public:
     Directory(NodeId node, std::uint32_t num_nodes, EventQueue &eq,
-              Network &net, const DirectoryConfig &cfg);
+              Network &net, const DirectoryConfig &cfg,
+              Arena *arena = nullptr);
 
     /** Network entry point for all directory-bound messages. */
     void receive(const Message &msg);
@@ -204,20 +206,23 @@ class Directory
     EventQueue &eventq;
     Network &network;
     DirectoryConfig config;
+    /** Run-private memory for every map/pool below (may be null). */
+    Arena *arena;
 
     Tid nowServing = 0;
-    /** skipWindow[i] == true means TID nowServing + i is retired. */
-    std::deque<bool> skipWindow;
+    /** Bit i set means TID nowServing + i is retired (packed ring). */
+    SkipVector skipWindow;
 
     /** Per-line protocol state, touched once per directory message:
      *  open addressing keeps the lookup a single probe, no chase. */
     FlatMap<Addr, Entry> entries;
     PendingCommit pending;
 
+    using MsgVec = std::vector<Message, ArenaAllocator<Message>>;
     /** Probes waiting for their TID condition. */
-    std::vector<Message> deferredProbes;
+    MsgVec deferredProbes;
     /** Loads stalled on Marked lines. */
-    std::vector<Message> stalledLoads;
+    MsgVec stalledLoads;
 
     /** Directory-cache recency tracking (LRU over entry addresses). */
     Tick dirCachePenalty(Addr lineAddr);

@@ -27,6 +27,9 @@ namespace tcc {
 class GlobalStore
 {
   public:
+    /** @param arena backs the word map (nullptr = global heap). */
+    explicit GlobalStore(Arena *arena = nullptr) : words(arena) {}
+
     /** Read the committed value of the word at @p addr (0 if untouched). */
     std::uint64_t
     read(Addr addr) const

@@ -24,8 +24,9 @@ class HomeMap
 {
   public:
     HomeMap(std::uint32_t num_nodes, HomePolicy policy,
-            std::uint32_t page_bytes = 4096)
-        : numNodes(num_nodes), homePolicy(policy), pageBytes(page_bytes)
+            std::uint32_t page_bytes = 4096, Arena *arena = nullptr)
+        : numNodes(num_nodes), homePolicy(policy),
+          pageBytes(page_bytes), firstTouch(arena)
     {
         if (num_nodes == 0)
             fatal("HomeMap needs at least one node");

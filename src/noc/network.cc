@@ -21,8 +21,8 @@ enum Dir : unsigned { East = 0, West = 1, North = 2, South = 3 };
 } // namespace
 
 MeshNetwork::MeshNetwork(EventQueue &eq, std::uint32_t num_nodes,
-                         const MeshConfig &cfg)
-    : Network(eq, num_nodes), config(cfg),
+                         const MeshConfig &cfg, Arena *arena)
+    : Network(eq, num_nodes, arena), config(cfg),
       gridCols(gridSide(num_nodes)),
       gridRows((num_nodes + gridSide(num_nodes) - 1) /
                gridSide(num_nodes)),

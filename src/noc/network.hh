@@ -55,8 +55,9 @@ class Network
   public:
     using Handler = std::function<void(const Message &)>;
 
-    Network(EventQueue &eq, std::uint32_t num_nodes)
-        : eventq(eq), handlers(num_nodes)
+    Network(EventQueue &eq, std::uint32_t num_nodes,
+            Arena *arena = nullptr)
+        : eventq(eq), handlers(num_nodes), msgPool(arena)
     {
         netStats.nodeBytes.assign(num_nodes, 0);
     }
@@ -134,8 +135,8 @@ class IdealNetwork : public Network
 {
   public:
     IdealNetwork(EventQueue &eq, std::uint32_t num_nodes,
-                 Tick latency = 1)
-        : Network(eq, num_nodes), fixedLatency(latency)
+                 Tick latency = 1, Arena *arena = nullptr)
+        : Network(eq, num_nodes, arena), fixedLatency(latency)
     {}
 
     void
@@ -180,7 +181,8 @@ class MeshNetwork : public Network
 {
   public:
     MeshNetwork(EventQueue &eq, std::uint32_t num_nodes,
-                const MeshConfig &cfg = MeshConfig{});
+                const MeshConfig &cfg = MeshConfig{},
+                Arena *arena = nullptr);
 
     void send(Message msg) override;
 

@@ -10,20 +10,25 @@ TccProcessor::TccProcessor(NodeId node, std::uint32_t num_nodes,
                            EventQueue &eq, Network &net, HomeMap &homes,
                            GlobalStore &store,
                            const CacheConfig &cache_cfg,
-                           const ProcessorConfig &cfg, NodeId vendor_node)
+                           const ProcessorConfig &cfg,
+                           NodeId vendor_node, Arena *arena)
     : nodeId(node), numNodes(num_nodes), eventq(eq), network(net),
-      homeMap(homes), globalStore(store), specCache(cache_cfg),
-      config(cfg), vendorNode(vendor_node), sharingVec(num_nodes),
-      writingVec(num_nodes)
+      homeMap(homes), globalStore(store), specCache(cache_cfg, arena),
+      config(cfg), vendorNode(vendor_node), writeBuf(arena),
+      sharingVec(num_nodes), writingVec(num_nodes),
+      earlyAnswered(num_nodes),
+      earlyNstid(num_nodes, kInvalidTid, ArenaAllocator<Tid>(arena)),
+      marksDone(num_nodes), sValidated(num_nodes),
+      marksCount(num_nodes, 0, ArenaAllocator<std::uint32_t>(arena)),
+      writeSetByDir(
+          num_nodes,
+          LineVec(ArenaAllocator<SpecCache::WriteSetLine>(arena)),
+          ArenaAllocator<LineVec>(arena)),
+      wsDirs(num_nodes)
 {
-    // Pre-size the hot per-transaction maps once: clear() keeps the
-    // bucket arrays, so steady-state attempts never rehash.
+    // Pre-size the write buffer once: clear() keeps the bucket array,
+    // so steady-state attempts never rehash.
     writeBuf.reserve(256);
-    earlyAnswers.reserve(num_nodes);
-    marksCount.reserve(num_nodes);
-    marksDone.reserve(num_nodes);
-    sValidated.reserve(num_nodes);
-    writeSetByDir.reserve(num_nodes);
 }
 
 void
@@ -108,11 +113,14 @@ TccProcessor::beginAttempt()
     validated = false;
     wDirs.clear();
     sOnlyDirs.clear();
-    earlyAnswers.clear();
-    marksDone.clear();
-    sValidated.clear();
-    marksCount.clear();
-    writeSetByDir.clear();
+    earlyAnswered.clearAll();
+    marksDone.clearAll();
+    sValidated.clearAll();
+    // marksCount entries are always written (sendMarksTo) before they
+    // are read (completeCommit), so they need no per-attempt clear.
+    // The write-set groups were only filled for dirs in wsDirs.
+    wsDirs.forEach([&](NodeId d) { writeSetByDir[d].clear(); });
+    wsDirs.clearAll();
     mshr = Mshr{};
     attemptStart = eventq.now();
     attemptUseful = 0;
@@ -362,8 +370,11 @@ TccProcessor::startCommit()
     commitStart = eventq.now();
 
     // Group the write set by home directory and compute the dir sets.
-    for (const auto &line : specCache.writeSet())
-        writeSetByDir[homeOf(line.lineAddr)].push_back(line);
+    for (const auto &line : specCache.writeSet()) {
+        const NodeId d = homeOf(line.lineAddr);
+        writeSetByDir[d].push_back(line);
+        wsDirs.set(d);
+    }
     writingVec.forEach([&](NodeId d) { wDirs.push_back(d); });
     sharingVec.forEach([&](NodeId d) {
         if (!writingVec.test(d))
@@ -438,8 +449,7 @@ TccProcessor::proceedAfterTid()
         post(s);
     }
     for (NodeId d : wDirs) {
-        auto it = earlyAnswers.find(d);
-        if (it != earlyAnswers.end() && it->second == tid) {
+        if (earlyAnswered.test(d) && earlyNstid[d] == tid) {
             sendMarksTo(d);
         } else {
             Message p;
@@ -451,9 +461,8 @@ TccProcessor::proceedAfterTid()
         }
     }
     for (NodeId d : sOnlyDirs) {
-        auto it = earlyAnswers.find(d);
-        if (it != earlyAnswers.end() && it->second >= tid) {
-            sValidated.insert(d);
+        if (earlyAnswered.test(d) && earlyNstid[d] >= tid) {
+            sValidated.set(d);
         } else {
             Message p;
             p.type = MsgType::Probe;
@@ -485,12 +494,11 @@ TccProcessor::onProbeReply(const Message &msg)
         return; // stale reply for a rolled-back attempt
     if (msg.tid == kInvalidTid) {
         // Early probe answer.
-        if (tid == kInvalidTid) {
-            earlyAnswers[msg.src] = msg.nstid;
-        } else if (skipsSent) {
+        if (tid != kInvalidTid && skipsSent) {
             interpretNstid(msg.src, msg.nstid);
         } else {
-            earlyAnswers[msg.src] = msg.nstid;
+            earlyAnswered.set(msg.src);
+            earlyNstid[msg.src] = msg.nstid;
         }
         return;
     }
@@ -503,7 +511,7 @@ void
 TccProcessor::interpretNstid(NodeId dir, Tid observed)
 {
     if (writingVec.test(dir)) {
-        if (marksDone.count(dir))
+        if (marksDone.test(dir))
             return;
         if (observed == tid) {
             sendMarksTo(dir);
@@ -529,10 +537,10 @@ TccProcessor::interpretNstid(NodeId dir, Tid observed)
         // under-reports the NSTID, so acting on it stays safe.)
         return;
     }
-    if (sValidated.count(dir))
+    if (sValidated.test(dir))
         return;
     if (observed >= tid) {
-        sValidated.insert(dir);
+        sValidated.set(dir);
         checkValidationDone();
     } else {
         Message p;
@@ -547,11 +555,11 @@ TccProcessor::interpretNstid(NodeId dir, Tid observed)
 void
 TccProcessor::sendMarksTo(NodeId dir)
 {
-    auto it = writeSetByDir.find(dir);
-    if (it == writeSetByDir.end())
+    if (!wsDirs.test(dir))
         panic("proc %u: writing dir %u with empty write set", nodeId,
               dir);
-    for (const auto &line : it->second) {
+    const auto &lines = writeSetByDir[dir];
+    for (const auto &line : lines) {
         Message m;
         m.type = MsgType::Mark;
         m.dst = dir;
@@ -560,8 +568,8 @@ TccProcessor::sendMarksTo(NodeId dir)
         m.wordMask = line.smMask;
         post(m);
     }
-    marksCount[dir] = static_cast<std::uint32_t>(it->second.size());
-    marksDone.insert(dir);
+    marksCount[dir] = static_cast<std::uint32_t>(lines.size());
+    marksDone.set(dir);
     checkValidationDone();
 }
 
@@ -570,9 +578,10 @@ TccProcessor::checkValidationDone()
 {
     if (validated || phase != Phase::Commit || !skipsSent)
         return;
-    if (marksDone.size() != wDirs.size())
+    // Popcount the bitmaps against the dir-list sizes.
+    if (marksDone.count() != wDirs.size())
         return;
-    if (sValidated.size() != sOnlyDirs.size())
+    if (sValidated.count() != sOnlyDirs.size())
         return;
     completeCommit();
 }
@@ -747,10 +756,9 @@ TccProcessor::soloCommit()
     // gets a Skip so the TID retires everywhere. Directories are
     // visited in ascending order for deterministic message emission.
     for (NodeId d = 0; d < numNodes; ++d) {
-        auto it = writeSetByDir.find(d);
-        if (it == writeSetByDir.end())
+        if (!wsDirs.test(d))
             continue;
-        const auto &lines = it->second;
+        const auto &lines = writeSetByDir[d];
         for (const auto &line : lines) {
             Message m;
             m.type = MsgType::Mark;
@@ -768,7 +776,7 @@ TccProcessor::soloCommit()
         post(c);
     }
     for (NodeId d = 0; d < numNodes; ++d) {
-        if (writeSetByDir.count(d))
+        if (wsDirs.test(d))
             continue;
         Message skip;
         skip.type = MsgType::Skip;
@@ -777,7 +785,7 @@ TccProcessor::soloCommit()
         post(skip);
     }
 
-    recordCommitStats(writeSetByDir.size());
+    recordCommitStats(wsDirs.count());
     ++procStats.soloCommits;
     specCache.commitSpec(tid);
     specCache.setSrTracking(true);
@@ -923,13 +931,13 @@ TccProcessor::debugDump() const
     std::snprintf(
         buf, sizeof(buf),
         "proc %u: phase=%d opIdx=%zu/%zu tid=%lld tidReq=%d "
-        "skipsSent=%d validated=%d wDirs=%zu marksDone=%zu "
-        "sOnly=%zu sValidated=%zu mshr={act=%d addr=%llx poison=%d}\n",
+        "skipsSent=%d validated=%d wDirs=%zu marksDone=%u "
+        "sOnly=%zu sValidated=%u mshr={act=%d addr=%llx poison=%d}\n",
         nodeId, static_cast<int>(phase), opIdx, curOps.size(),
         tid == kInvalidTid ? -1LL : (long long)tid,
         tidReqOutstanding ? 1 : 0, skipsSent ? 1 : 0,
-        validated ? 1 : 0, wDirs.size(), marksDone.size(),
-        sOnlyDirs.size(), sValidated.size(), mshr.active ? 1 : 0,
+        validated ? 1 : 0, wDirs.size(), marksDone.count(),
+        sOnlyDirs.size(), sValidated.count(), mshr.active ? 1 : 0,
         (unsigned long long)mshr.lineAddr, mshr.poisoned ? 1 : 0);
     return buf;
 }

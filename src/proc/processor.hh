@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache/spec_cache.hh"
+#include "common/arena.hh"
 #include "common/flat_map.hh"
 #include "common/nodeset.hh"
 #include "common/types.hh"
@@ -86,7 +87,8 @@ class TccProcessor
     TccProcessor(NodeId node, std::uint32_t num_nodes, EventQueue &eq,
                  Network &net, HomeMap &homes, GlobalStore &store,
                  const CacheConfig &cache_cfg,
-                 const ProcessorConfig &cfg, NodeId vendor_node = 0);
+                 const ProcessorConfig &cfg, NodeId vendor_node = 0,
+                 Arena *arena = nullptr);
 
     /** Attach the transaction stream (must outlive the processor). */
     void setSource(TransactionSource *src) { source = src; }
@@ -241,17 +243,31 @@ class TccProcessor
     std::uint64_t gen = 0;
 
     // --- commit-phase state ------------------------------------------
+    // The per-directory bookkeeping is a set of node-indexed bitmaps
+    // and dense arrays (not hash sets): membership is one bit test,
+    // completion checks are popcounts, and clearing between attempts
+    // is a handful of word stores. All arrays are sized numNodes at
+    // construction and arena-backed.
     bool skipsSent = false;
     bool validated = false;
     Tick commitStart = 0;
     std::vector<NodeId> wDirs;
     std::vector<NodeId> sOnlyDirs;
-    FlatMap<NodeId, Tid> earlyAnswers;
-    FlatSet<NodeId> marksDone;
-    FlatSet<NodeId> sValidated;
-    FlatMap<NodeId, std::uint32_t> marksCount;
-    FlatMap<NodeId, std::vector<SpecCache::WriteSetLine>>
-        writeSetByDir;
+    /** Dirs whose early (TID-less) probe answered; NSTID per dir. */
+    NodeSet earlyAnswered;
+    std::vector<Tid, ArenaAllocator<Tid>> earlyNstid;
+    /** Writing dirs whose Marks have all been sent. */
+    NodeSet marksDone;
+    /** Sharing-only dirs observed at NSTID >= tid. */
+    NodeSet sValidated;
+    /** Marks sent per writing dir (Commit.numMarks). */
+    std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>>
+        marksCount;
+    /** Write-set lines grouped by home dir + membership bitmap. */
+    using LineVec = std::vector<SpecCache::WriteSetLine,
+                                ArenaAllocator<SpecCache::WriteSetLine>>;
+    std::vector<LineVec, ArenaAllocator<LineVec>> writeSetByDir;
+    NodeSet wsDirs;
 
     // --- miss handling -----------------------------------------------
     struct Mshr {

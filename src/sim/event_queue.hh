@@ -38,10 +38,12 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <queue>
 #include <type_traits>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "sim/inline_function.hh"
@@ -67,9 +69,21 @@ class EventQueue
                       !std::is_copy_assignable_v<Callback>,
                   "event callbacks must be move-only");
 
-    EventQueue() = default;
+    /** @param arena node slabs come from here (nullptr = heap). */
+    explicit EventQueue(Arena *arena = nullptr) : nodeArena(arena) {}
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        // Arena-backed slabs were placement-new'd into raw memory; run
+        // the node destructors (a pending InlineFunction may own
+        // out-of-line state). The arena reclaims the bytes itself.
+        for (Node *slab : arenaSlabs) {
+            for (std::size_t i = 0; i < kSlabNodes; ++i)
+                slab[i].~Node();
+        }
+    }
 
     /** Current simulated time in cycles. */
     Tick now() const { return curTick; }
@@ -175,7 +189,11 @@ class EventQueue
     }
 
     /** Event-node capacity high-water mark (allocation diagnostics). */
-    std::size_t nodeCapacity() const { return slabs.size() * kSlabNodes; }
+    std::size_t
+    nodeCapacity() const
+    {
+        return (slabs.size() + arenaSlabs.size()) * kSlabNodes;
+    }
 
   private:
     /// Per-tick buckets; covers a sliding kWheelSize-tick window.
@@ -213,8 +231,18 @@ class EventQueue
     allocNode()
     {
         if (!freeList) {
-            slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
-            Node *slab = slabs.back().get();
+            Node *slab;
+            if (nodeArena) {
+                void *raw = nodeArena->allocate(
+                    sizeof(Node) * kSlabNodes, alignof(Node));
+                slab = static_cast<Node *>(raw);
+                for (std::size_t i = 0; i < kSlabNodes; ++i)
+                    new (&slab[i]) Node();
+                arenaSlabs.push_back(slab);
+            } else {
+                slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
+                slab = slabs.back().get();
+            }
             for (std::size_t i = 0; i < kSlabNodes; ++i) {
                 slab[i].next = freeList;
                 freeList = &slab[i];
@@ -331,7 +359,10 @@ class EventQueue
     std::priority_queue<Node *, std::vector<Node *>, Later> overflow;
 
     /// Node storage: slabs own the nodes; freeList threads spares.
+    /// With an arena, slabs live there instead (see allocNode).
+    Arena *nodeArena = nullptr;
     std::vector<std::unique_ptr<Node[]>> slabs;
+    std::vector<Node *> arenaSlabs;
     Node *freeList = nullptr;
 
     Tick curTick = 0;

@@ -4,6 +4,11 @@
  * hot-path objects (in-flight Messages, event nodes) so the simulator's
  * steady state performs no heap allocation: slabs are only allocated
  * when the pool grows past every previous high-water mark.
+ *
+ * Slabs come from the owning System's Arena when one is supplied, so a
+ * run's pooled objects live in run-private memory (no malloc-arena
+ * contention between concurrent sweep workers); without an arena the
+ * pool falls back to the global heap.
  */
 
 #ifndef TCC_SIM_POOL_HH
@@ -11,8 +16,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
+
+#include "common/arena.hh"
 
 namespace tcc {
 
@@ -28,8 +36,19 @@ class ObjectPool
 
   public:
     ObjectPool() = default;
+    explicit ObjectPool(Arena *a) : arena(a) {}
     ObjectPool(const ObjectPool &) = delete;
     ObjectPool &operator=(const ObjectPool &) = delete;
+
+    ~ObjectPool()
+    {
+        // Arena slabs are placement-new'd into raw arena memory: run
+        // the destructors here; the arena reclaims the bytes itself.
+        for (Slot *slab : arenaSlabs) {
+            for (std::size_t i = 0; i < SlabObjects; ++i)
+                slab[i].~Slot();
+        }
+    }
 
     /** Take an object from the pool (grows by one slab when empty). */
     T *
@@ -67,7 +86,11 @@ class ObjectPool
     std::size_t live() const { return liveObjects; }
 
     /** Total objects ever materialized (capacity high-water mark). */
-    std::size_t capacity() const { return slabs.size() * SlabObjects; }
+    std::size_t
+    capacity() const
+    {
+        return (slabs.size() + arenaSlabs.size()) * SlabObjects;
+    }
 
   private:
     struct Slot {
@@ -78,15 +101,28 @@ class ObjectPool
     void
     grow()
     {
-        slabs.push_back(std::make_unique<Slot[]>(SlabObjects));
-        Slot *slab = slabs.back().get();
+        Slot *slab;
+        if (arena) {
+            void *raw = arena->allocate(sizeof(Slot) * SlabObjects,
+                                        alignof(Slot));
+            slab = static_cast<Slot *>(raw);
+            for (std::size_t i = 0; i < SlabObjects; ++i)
+                new (&slab[i]) Slot();
+            arenaSlabs.push_back(slab);
+        } else {
+            slabs.push_back(std::make_unique<Slot[]>(SlabObjects));
+            slab = slabs.back().get();
+        }
         for (std::size_t i = 0; i < SlabObjects; ++i) {
             slab[i].next = freeHead;
             freeHead = &slab[i];
         }
     }
 
+    Arena *arena = nullptr;
     std::vector<std::unique_ptr<Slot[]>> slabs;
+    /// Slabs living in the arena (destroyed, not deleted, by ~ObjectPool).
+    std::vector<Slot *> arenaSlabs;
     Slot *freeHead = nullptr;
     std::size_t liveObjects = 0;
 };
