@@ -34,11 +34,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
 #include "core/system.hh"
 #include "noc/message.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 #include "sim/random.hh"
+#include "workload/scripted_source.hh"
 #include "workload/synthetic_app.hh"
 
 // Configure-time git revision (set by bench/CMakeLists.txt) so each
@@ -250,6 +252,39 @@ endToEnd(std::uint32_t txns_per_phase)
     return out;
 }
 
+/**
+ * Observability wiring check: run the 2-processor scripted-conflict
+ * scenario with every trace category enabled (text output off) and
+ * report how many structured events the recorder captured. A zero
+ * here means the instrumentation went dark.
+ */
+std::uint64_t
+tracedEventCount()
+{
+    Trace::setTextOutput(false);
+    Trace::enableAll(true);
+    std::uint64_t captured = 0;
+    {
+        SystemConfig cfg;
+        cfg.numProcs = 2;
+        cfg.homePolicy = HomePolicy::Interleave;
+        System sys(cfg);
+        const Addr x = 0x100000;
+        ScriptedSource p0;
+        p0.add({TxOp::compute(100), TxOp::store(x, 42)});
+        ScriptedSource p1;
+        p1.add({TxOp::load(x), TxOp::compute(4000),
+                TxOp::storeAdd(x + 4096, 0)});
+        sys.setSource(0, &p0);
+        sys.setSource(1, &p1);
+        sys.run();
+        captured = sys.traceRecorder().captured();
+    }
+    Trace::enableAll(false);
+    Trace::setTextOutput(true);
+    return captured;
+}
+
 } // namespace
 
 int
@@ -294,6 +329,11 @@ main(int argc, char **argv)
                 (unsigned long long)e2e.arenaPeakBytes,
                 (unsigned long long)e2e.arenaChunks);
 
+    const std::uint64_t traceEvents = tracedEventCount();
+    std::printf("trace wiring        : %12llu events captured "
+                "(scripted conflict)\n",
+                (unsigned long long)traceEvents);
+
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot open %s for writing\n",
@@ -310,6 +350,7 @@ main(int argc, char **argv)
         "  \"end_to_end_events_per_sec\": %.0f,\n"
         "  \"arena_peak_bytes\": %llu,\n"
         "  \"arena_chunks\": %llu,\n"
+        "  \"trace_events_captured\": %llu,\n"
         "  \"hardware_concurrency\": %u,\n"
         "  \"git_rev\": \"%s\",\n"
         "  \"config\": {\n"
@@ -324,6 +365,7 @@ main(int argc, char **argv)
         newRate, e2e.cyclesPerSec, refRate, newRate / refRate,
         e2e.eventsPerSec, (unsigned long long)e2e.arenaPeakBytes,
         (unsigned long long)e2e.arenaChunks,
+        (unsigned long long)traceEvents,
         std::thread::hardware_concurrency(), TCC_GIT_REV,
         smoke ? "true" : "false", (unsigned long long)kernelEvents,
         kChains, txnsPerPhase);

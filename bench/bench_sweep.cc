@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/log.hh"
+#include "workload/scripted_source.hh"
 
 // Configure-time git revision (set by bench/CMakeLists.txt) so each
 // BENCH_*.json records what code produced it.
@@ -116,6 +118,39 @@ flatMapEventsPerSec(std::uint32_t txns_per_phase)
     return out;
 }
 
+/**
+ * Observability wiring check (same scenario as bench_kernel's): the
+ * 2-processor scripted conflict with all trace categories on, text
+ * output off. Zero captured events means the instrumentation broke.
+ */
+std::uint64_t
+tracedEventCount()
+{
+    using namespace tcc;
+    Trace::setTextOutput(false);
+    Trace::enableAll(true);
+    std::uint64_t captured = 0;
+    {
+        SystemConfig cfg;
+        cfg.numProcs = 2;
+        cfg.homePolicy = HomePolicy::Interleave;
+        System sys(cfg);
+        const Addr x = 0x100000;
+        ScriptedSource p0;
+        p0.add({TxOp::compute(100), TxOp::store(x, 42)});
+        ScriptedSource p1;
+        p1.add({TxOp::load(x), TxOp::compute(4000),
+                TxOp::storeAdd(x + 4096, 0)});
+        sys.setSource(0, &p0);
+        sys.setSource(1, &p1);
+        sys.run();
+        captured = sys.traceRecorder().captured();
+    }
+    Trace::enableAll(false);
+    Trace::setTextOutput(true);
+    return captured;
+}
+
 } // namespace
 
 int
@@ -201,6 +236,11 @@ main(int argc, char **argv)
                 (unsigned long long)flat.arenaPeakBytes,
                 (unsigned long long)flat.arenaChunks);
 
+    const std::uint64_t traceEvents = tracedEventCount();
+    std::printf("trace wiring       : %12llu events captured "
+                "(scripted conflict)\n",
+                (unsigned long long)traceEvents);
+
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot open %s for writing\n",
@@ -217,6 +257,7 @@ main(int argc, char **argv)
                  "  \"flatmap_events_per_sec\": %.0f,\n"
                  "  \"arena_peak_bytes\": %llu,\n"
                  "  \"arena_chunks\": %llu,\n"
+                 "  \"trace_events_captured\": %llu,\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"git_rev\": \"%s\",\n"
                  "  \"config\": {\n"
@@ -229,7 +270,8 @@ main(int argc, char **argv)
                  serialSec, parallelSec, jobs, speedup,
                  flat.eventsPerSec,
                  (unsigned long long)flat.arenaPeakBytes,
-                 (unsigned long long)flat.arenaChunks, hw, TCC_GIT_REV,
+                 (unsigned long long)flat.arenaChunks,
+                 (unsigned long long)traceEvents, hw, TCC_GIT_REV,
                  smoke ? "true" : "false", nApps, grid.size());
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());

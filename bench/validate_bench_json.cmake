@@ -1,34 +1,47 @@
-# Validate the schema of a machine-readable bench JSON (BENCH_kernel,
-# BENCH_sweep, ...): required top-level numeric fields, optional
-# required string fields, plus a config object. Run as
-#   cmake -DJSON_FILE=<path> [-DREQUIRED_KEYS=a,b,c] \
-#         [-DREQUIRED_STRING_KEYS=d,e] -P validate_bench_json.cmake
-# Both key lists are comma-separated; REQUIRED_KEYS defaults to the
-# bench_kernel schema for backward compatibility.
+# Validate the schema of a machine-readable JSON artifact (the
+# BENCH_*.json bench outputs and the observability JSONs emitted by
+# --stats-json / --trace-out): required numeric fields, optional
+# required string fields, optional required non-empty arrays, plus a
+# config object. Run as
+#   cmake -DJSON_FILE=<path> [-DREQUIRED_KEYS=a,b.c] \
+#         [-DREQUIRED_STRING_KEYS=d,e] \
+#         [-DREQUIRED_ARRAY_KEYS=f,g.h] \
+#         [-DREQUIRE_CONFIG=OFF] -P validate_bench_json.cmake
+# Key lists are comma-separated; a dot inside a key descends into
+# nested objects ("system.procs" checks doc.system.procs). No emitted
+# key contains a literal dot, so the split is unambiguous.
+# REQUIRED_KEYS defaults to the bench_kernel schema for backward
+# compatibility; pass an explicitly empty value to skip numeric checks.
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "pass -DJSON_FILE=<path>")
 endif()
 if(NOT DEFINED REQUIRED_KEYS)
   set(REQUIRED_KEYS "events_per_sec,cycles_per_sec")
 endif()
+if(NOT DEFINED REQUIRE_CONFIG)
+  set(REQUIRE_CONFIG ON)
+endif()
 string(REPLACE "," ";" key_list "${REQUIRED_KEYS}")
 string(REPLACE "," ";" string_key_list "${REQUIRED_STRING_KEYS}")
+string(REPLACE "," ";" array_key_list "${REQUIRED_ARRAY_KEYS}")
 
 file(READ "${JSON_FILE}" doc)
 
 foreach(key IN LISTS key_list)
-  string(JSON val ERROR_VARIABLE err GET "${doc}" "${key}")
+  string(REPLACE "." ";" path "${key}")
+  string(JSON val ERROR_VARIABLE err GET "${doc}" ${path})
   if(err)
     message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
   endif()
-  if(NOT val MATCHES "^[0-9]+(\\.[0-9]+)?$")
+  if(NOT val MATCHES "^-?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?$")
     message(FATAL_ERROR
             "${JSON_FILE}: key '${key}' is not numeric: '${val}'")
   endif()
 endforeach()
 
 foreach(key IN LISTS string_key_list)
-  string(JSON ktype ERROR_VARIABLE err TYPE "${doc}" "${key}")
+  string(REPLACE "." ";" path "${key}")
+  string(JSON ktype ERROR_VARIABLE err TYPE "${doc}" ${path})
   if(err)
     message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
   endif()
@@ -36,15 +49,33 @@ foreach(key IN LISTS string_key_list)
     message(FATAL_ERROR
             "${JSON_FILE}: key '${key}' is not a string (${ktype})")
   endif()
-  string(JSON val GET "${doc}" "${key}")
+  string(JSON val GET "${doc}" ${path})
   if(val STREQUAL "")
     message(FATAL_ERROR "${JSON_FILE}: key '${key}' is empty")
   endif()
 endforeach()
 
-string(JSON cfg_type ERROR_VARIABLE err TYPE "${doc}" config)
-if(err OR NOT cfg_type STREQUAL "OBJECT")
-  message(FATAL_ERROR "${JSON_FILE}: 'config' must be an object")
+foreach(key IN LISTS array_key_list)
+  string(REPLACE "." ";" path "${key}")
+  string(JSON ktype ERROR_VARIABLE err TYPE "${doc}" ${path})
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
+  endif()
+  if(NOT ktype STREQUAL "ARRAY")
+    message(FATAL_ERROR
+            "${JSON_FILE}: key '${key}' is not an array (${ktype})")
+  endif()
+  string(JSON len LENGTH "${doc}" ${path})
+  if(len EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: array '${key}' is empty")
+  endif()
+endforeach()
+
+if(REQUIRE_CONFIG)
+  string(JSON cfg_type ERROR_VARIABLE err TYPE "${doc}" config)
+  if(err OR NOT cfg_type STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON_FILE}: 'config' must be an object")
+  endif()
 endif()
 
 message(STATUS "${JSON_FILE}: schema OK")

@@ -19,7 +19,11 @@
  *     --seed N          workload seed (default 1)
  *     --check           enable the serializability checker
  *     --trace           dump the full protocol trace to stderr
+ *     --trace-out FILE  record the structured protocol trace and write
+ *                       it as Chrome/Perfetto trace JSON to FILE (open
+ *                       in ui.perfetto.dev or chrome://tracing)
  *     --stats FILE      write a full gem5-style stats dump to FILE
+ *     --stats-json FILE write the stats tree as JSON to FILE
  */
 
 #include <cstdio>
@@ -32,6 +36,7 @@
 #include "core/stats_dump.hh"
 #include "core/report.hh"
 #include "core/system.hh"
+#include "obs/chrome_trace.hh"
 #include "workload/synthetic_app.hh"
 
 using namespace tcc;
@@ -45,7 +50,8 @@ usage(const char *argv0)
                  "usage: %s [--app NAME] [--procs N] [--hop N] "
                  "[--line-gran] [--interleave] [--ideal-net] "
                  "[--jitter N] [--aging N] [--seed N] [--check] "
-                 "[--trace] [--stats FILE]\n",
+                 "[--trace] [--trace-out FILE] [--stats FILE] "
+                 "[--stats-json FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -57,6 +63,9 @@ main(int argc, char **argv)
 {
     std::string app_name = "barnes";
     std::string stats_path;
+    std::string stats_json_path;
+    std::string trace_out_path;
+    bool trace_text = false;
     SystemConfig cfg;
     cfg.numProcs = 16;
     std::uint64_t seed = 1;
@@ -93,12 +102,27 @@ main(int argc, char **argv)
         } else if (arg == "--check") {
             cfg.enableChecker = true;
         } else if (arg == "--trace") {
-            Trace::enableAll(true);
+            trace_text = true;
+        } else if (arg == "--trace-out") {
+            trace_out_path = next();
         } else if (arg == "--stats") {
             stats_path = next();
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (trace_text || !trace_out_path.empty()) {
+        Trace::enableAll(true);
+        // Recording to a file does not imply flooding stderr.
+        Trace::setTextOutput(trace_text);
+    }
+    if (!trace_out_path.empty()) {
+        // A full application run overflows the default ring fast; give
+        // the exporter more history to slice.
+        cfg.traceCapacity = std::size_t{1} << 18;
     }
 
     if (app_name == "list") {
@@ -178,6 +202,33 @@ main(int argc, char **argv)
         dumpStats(sys, f);
         std::printf("\nfull stats written to %s\n",
                     stats_path.c_str());
+    }
+
+    if (!stats_json_path.empty()) {
+        std::ofstream f(stats_json_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        dumpStatsJson(sys, f);
+        std::printf("\nstats JSON written to %s\n",
+                    stats_json_path.c_str());
+    }
+
+    if (!trace_out_path.empty()) {
+        std::ofstream f(trace_out_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+        exportChromeTrace(sys.traceRecorder(), cfg.numProcs, f);
+        std::printf("\ntrace written to %s (%llu events captured, "
+                    "%llu dropped) - open in ui.perfetto.dev\n",
+                    trace_out_path.c_str(),
+                    (unsigned long long)sys.traceRecorder().captured(),
+                    (unsigned long long)sys.traceRecorder().dropped());
     }
 
     if (cfg.enableChecker) {

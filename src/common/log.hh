@@ -67,12 +67,39 @@ class Trace
             std::memory_order_relaxed);
     }
 
+    /**
+     * Toggle the human-readable stderr sink. Structured recording
+     * (obs/trace_recorder.hh) is controlled by the per-category flags
+     * alone; turning text off lets a run record events for the
+     * Perfetto/ledger exporters without printf-ing every one of them
+     * to stderr (tccsim --trace-out, the obs-smoke fixture).
+     */
+    static void
+    setTextOutput(bool on)
+    {
+        textFlag().store(on, std::memory_order_release);
+    }
+
+    /** @return true iff tracef() lines go to stderr. */
+    static bool
+    textOn()
+    {
+        return textFlag().load(std::memory_order_relaxed);
+    }
+
   private:
     static std::atomic<bool> *
     flags()
     {
         static std::atomic<bool>
             f[static_cast<unsigned>(TraceCat::NumCats)] = {};
+        return f;
+    }
+
+    static std::atomic<bool> &
+    textFlag()
+    {
+        static std::atomic<bool> f{true};
         return f;
     }
 };
@@ -94,10 +121,28 @@ class Trace
 /** Print a warning to stderr without stopping the simulation. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print a trace line if @p cat is enabled (prefixed with the category). */
+/**
+ * Print a trace line if @p cat is enabled (prefixed with the
+ * category). The line is formatted into a private buffer and written
+ * to stderr in a single locked write, so lines from concurrent sweep
+ * workers never shear mid-write. Prefer TCC_TRACEF on hot paths: it
+ * skips argument evaluation entirely when the category is off.
+ */
 void tracef(TraceCat cat, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 } // namespace tcc
+
+/**
+ * Trace with zero cost when the category is disabled: the category
+ * check happens *before* the argument list is evaluated, so hot-path
+ * call sites never pay for formatting work (integer widening, string
+ * construction, accessor calls) that tracef() would then discard.
+ */
+#define TCC_TRACEF(cat, ...)                                          \
+    do {                                                              \
+        if (::tcc::Trace::on(cat))                                    \
+            ::tcc::tracef(cat, __VA_ARGS__);                          \
+    } while (0)
 
 #endif // TCC_COMMON_LOG_HH

@@ -1,6 +1,11 @@
 #include "core/stats_dump.hh"
 
+#include <cinttypes>
+#include <cstdio>
 #include <string>
+#include <vector>
+
+#include "obs/tx_ledger.hh"
 
 namespace tcc {
 
@@ -26,9 +31,145 @@ dumpDistribution(std::ostream &os, const std::string &prefix,
     if (d.count() == 0)
         return;
     lined(os, prefix + ".mean", d.mean());
+    lined(os, prefix + ".min", d.min());
     lined(os, prefix + ".p50", d.percentile(50));
     lined(os, prefix + ".p90", d.percentile(90));
     lined(os, prefix + ".max", d.max());
+    lined(os, prefix + ".stddev", d.stddev());
+}
+
+/**
+ * Minimal structural JSON writer: tracks "does the current scope need
+ * a comma" so emission order alone determines the output. Doubles use
+ * "%.6g" so dumps are byte-stable across platforms.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os_) : os(os_) {}
+
+    void
+    beginObj(const char *key = nullptr)
+    {
+        sep();
+        tag(key);
+        os << "{";
+        needComma = false;
+    }
+
+    void
+    endObj()
+    {
+        os << "}";
+        needComma = true;
+    }
+
+    void
+    beginArr(const char *key = nullptr)
+    {
+        sep();
+        tag(key);
+        os << "[";
+        needComma = false;
+    }
+
+    void
+    endArr()
+    {
+        os << "]";
+        needComma = true;
+    }
+
+    void
+    kv(const char *key, std::uint64_t v)
+    {
+        sep();
+        tag(key);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        os << buf;
+        needComma = true;
+    }
+
+    void
+    kv(const char *key, double v)
+    {
+        sep();
+        tag(key);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        os << buf;
+        needComma = true;
+    }
+
+    void
+    kvBool(const char *key, bool v)
+    {
+        sep();
+        tag(key);
+        os << (v ? "true" : "false");
+        needComma = true;
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (needComma)
+            os << ",";
+    }
+
+    void
+    tag(const char *key)
+    {
+        if (key != nullptr)
+            os << "\"" << key << "\":";
+    }
+
+    std::ostream &os;
+    bool needComma = false;
+};
+
+void
+jsonDistribution(JsonWriter &j, const char *key, const Distribution &d)
+{
+    j.beginObj(key);
+    j.kv("count", static_cast<std::uint64_t>(d.count()));
+    if (d.count() != 0) {
+        j.kv("mean", d.mean());
+        j.kv("min", d.min());
+        j.kv("p50", d.percentile(50));
+        j.kv("p90", d.percentile(90));
+        j.kv("max", d.max());
+        j.kv("stddev", d.stddev());
+    }
+    j.endObj();
+}
+
+void
+dumpLedgerText(std::ostream &os,
+               const std::vector<TxLedgerEntry> &ledger)
+{
+    line(os, "tx_ledger.count", ledger.size());
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+        const TxLedgerEntry &e = ledger[i];
+        const std::string pre = "tx_ledger." + std::to_string(i);
+        line(os, pre + ".tid", e.tid);
+        line(os, pre + ".node", e.node);
+        line(os, pre + ".begin_tick", e.beginTick);
+        line(os, pre + ".exec_cycles", e.execCycles());
+        line(os, pre + ".commit_cycles", e.commitCycles());
+        line(os, pre + ".retries", e.retries);
+        line(os, pre + ".probes", e.probeCount);
+        lined(os, pre + ".probe_rtt_mean", e.probeRttMean());
+        line(os, pre + ".probe_rtt_max", e.probeRttMax);
+        line(os, pre + ".mark_to_commit", e.markToCommitCycles());
+        line(os, pre + ".skip_to_commit", e.skipToCommitCycles());
+        if (e.hasViolation) {
+            line(os, pre + ".violation_addr", e.violationAddr);
+            line(os, pre + ".violation_writer", e.violationWriter);
+        }
+    }
 }
 
 } // namespace
@@ -53,6 +194,8 @@ dumpStats(const System &sys, std::ostream &os)
     const Arena::Stats as = sys.arenaStats();
     line(os, "system.arena_peak_bytes", as.peakBytes);
     line(os, "system.arena_chunks", as.chunks);
+    line(os, "system.trace_events_captured",
+         sys.traceRecorder().captured());
 
     // --- network -------------------------------------------------------
     const auto &ns = sys.network().stats();
@@ -126,7 +269,142 @@ dumpStats(const System &sys, std::ostream &os)
         dumpDistribution(os, pre + ".working_set", s.workingSet);
     }
 
+    // --- transaction ledger (only when something was traced) ----------
+    if (sys.traceRecorder().captured() != 0)
+        dumpLedgerText(os, buildTxLedger(sys.traceRecorder()));
+
     os << "---------- end tcc stats ----------\n";
+}
+
+void
+dumpStatsJson(const System &sys, std::ostream &os)
+{
+    JsonWriter j(os);
+    j.beginObj();
+
+    const Breakdown bd = sys.breakdown();
+    j.beginObj("system");
+    j.kv("procs", static_cast<std::uint64_t>(sys.numProcs()));
+    j.kv("committed_instructions", sys.committedInstructions());
+    j.kv("useful_cycles", bd.useful);
+    j.kv("miss_cycles", bd.miss);
+    j.kv("commit_cycles", bd.commit);
+    j.kv("idle_cycles", bd.idle);
+    j.kv("violation_cycles", bd.violation);
+    j.kv("tids_issued", sys.vendor().issued());
+    j.kvBool("quiesced", sys.protocolQuiesced());
+    const Arena::Stats as = sys.arenaStats();
+    j.kv("arena_peak_bytes", as.peakBytes);
+    j.kv("arena_chunks", static_cast<std::uint64_t>(as.chunks));
+    j.kv("trace_events_captured", sys.traceRecorder().captured());
+    j.kv("trace_events_dropped", sys.traceRecorder().dropped());
+    j.endObj();
+
+    const auto &ns = sys.network().stats();
+    j.beginObj("network");
+    j.kv("messages", ns.messages);
+    j.kv("bytes", ns.totalBytes);
+    j.kv("hops", ns.totalHops);
+    j.beginObj("bytes_by_class");
+    j.kv("overhead", ns.classBytes[(int)TrafficClass::Overhead]);
+    j.kv("miss", ns.classBytes[(int)TrafficClass::Miss]);
+    j.kv("writeback", ns.classBytes[(int)TrafficClass::WriteBack]);
+    j.kv("shared", ns.classBytes[(int)TrafficClass::Shared]);
+    j.endObj();
+    j.endObj();
+
+    j.beginArr("procs");
+    for (NodeId p = 0; p < sys.numProcs(); ++p) {
+        const auto &s = sys.proc(p).stats();
+        j.beginObj();
+        j.kv("node", static_cast<std::uint64_t>(p));
+        j.kv("useful_cycles", s.usefulCycles);
+        j.kv("miss_cycles", s.missCycles);
+        j.kv("commit_cycles", s.commitCycles);
+        j.kv("idle_cycles", s.idleCycles);
+        j.kv("violation_cycles", s.violationCycles);
+        j.kv("txns_committed", s.txnsCommitted);
+        j.kv("violations", s.violations);
+        j.kv("overflows", s.overflows);
+        j.kv("solo_commits", s.soloCommits);
+        j.kv("drains", s.drains);
+        j.kv("tid_requests", s.tidRequests);
+        j.kv("value_validation_failures", s.valueValidationFailures);
+        jsonDistribution(j, "txn_instructions", s.txnInstructions);
+        jsonDistribution(j, "commit_latency", s.commitLatency);
+
+        const auto &cs = sys.proc(p).cache().stats();
+        j.beginObj("cache");
+        j.kv("loads", cs.loads);
+        j.kv("stores", cs.stores);
+        j.kv("l1_hits", cs.l1Hits);
+        j.kv("l2_hits", cs.l2Hits);
+        j.kv("misses", cs.misses);
+        j.kv("fills", cs.fills);
+        j.kv("dirty_evictions", cs.dirtyEvictions);
+        j.kv("overflows", cs.overflows);
+        j.kv("ghosts", cs.ghostsCreated);
+        j.endObj();
+        j.endObj();
+    }
+    j.endArr();
+
+    j.beginArr("dirs");
+    for (NodeId d = 0; d < sys.numProcs(); ++d) {
+        const auto &s = sys.directory(d).stats();
+        j.beginObj();
+        j.kv("node", static_cast<std::uint64_t>(d));
+        j.kv("nstid", sys.directory(d).nstid());
+        j.kv("loads_served", s.loadsServed);
+        j.kv("loads_stalled", s.loadsStalled);
+        j.kv("loads_forwarded", s.loadsForwarded);
+        j.kv("skips", s.skipsReceived);
+        j.kv("commits", s.commitsServed);
+        j.kv("partial_commits", s.partialCommitsServed);
+        j.kv("aborts", s.abortsServed);
+        j.kv("invalidations", s.invalidationsSent);
+        j.kv("writebacks_accepted", s.writeBacksAccepted);
+        j.kv("writebacks_dropped", s.writeBacksDropped);
+        j.kv("marks", s.marksReceived);
+        j.kv("probes_deferred", s.probesDeferred);
+        j.kv("dir_cache_misses", s.dirCacheMisses);
+        j.kv("busy_cycles", s.busyCycles);
+        j.kv("entries",
+             static_cast<std::uint64_t>(sys.directory(d).numEntries()));
+        jsonDistribution(j, "commit_occupancy", s.commitOccupancy);
+        jsonDistribution(j, "working_set", s.workingSet);
+        j.endObj();
+    }
+    j.endArr();
+
+    j.beginArr("tx_ledger");
+    if (sys.traceRecorder().captured() != 0) {
+        for (const TxLedgerEntry &e :
+             buildTxLedger(sys.traceRecorder())) {
+            j.beginObj();
+            j.kv("tid", e.tid);
+            j.kv("node", static_cast<std::uint64_t>(e.node));
+            j.kv("begin_tick", e.beginTick);
+            j.kv("exec_cycles", e.execCycles());
+            j.kv("commit_cycles", e.commitCycles());
+            j.kv("retries", static_cast<std::uint64_t>(e.retries));
+            j.kv("probes", e.probeCount);
+            j.kv("probe_rtt_mean", e.probeRttMean());
+            j.kv("probe_rtt_max", e.probeRttMax);
+            j.kv("mark_to_commit", e.markToCommitCycles());
+            j.kv("skip_to_commit", e.skipToCommitCycles());
+            j.kvBool("has_violation", e.hasViolation);
+            if (e.hasViolation) {
+                j.kv("violation_addr", e.violationAddr);
+                j.kv("violation_writer", e.violationWriter);
+            }
+            j.endObj();
+        }
+    }
+    j.endArr();
+
+    j.endObj();
+    os << "\n";
 }
 
 } // namespace tcc

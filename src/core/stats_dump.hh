@@ -20,8 +20,23 @@ namespace tcc {
  *   network.*           message/byte/hop counters by traffic class
  *   proc<N>.*           per-processor breakdown + transaction stats
  *   dir<N>.*            per-directory protocol counters
+ *   tx_ledger.*         per-transaction lifecycle (when traced)
  */
 void dumpStats(const System &sys, std::ostream &os);
+
+/**
+ * The same statistics tree as machine-readable JSON: nested objects
+ * with stable key order and fixed double formatting ("%.6g"), so the
+ * output of a deterministic run is byte-identical across platforms.
+ * Top-level shape:
+ *
+ *   { "system": {...}, "network": {...},
+ *     "procs": [...], "dirs": [...], "tx_ledger": [...] }
+ *
+ * tx_ledger entries come from obs/tx_ledger.hh and are empty unless
+ * the Proc + Commit trace categories were enabled during the run.
+ */
+void dumpStatsJson(const System &sys, std::ostream &os);
 
 } // namespace tcc
 

@@ -8,6 +8,7 @@ namespace tcc {
 
 System::System(const SystemConfig &cfg)
     : config(cfg), eventq(&arena),
+      tracer(eventq, &arena, cfg.traceCapacity),
       homes(cfg.numProcs, cfg.homePolicy, cfg.pageBytes, &arena),
       store(&arena)
 {
@@ -21,6 +22,8 @@ System::System(const SystemConfig &cfg)
         net = std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
                                             cfg.mesh, &arena);
     }
+
+    net->setTraceRecorder(&tracer);
 
     tidVendor = std::make_unique<TidVendor>(0, eventq, *net,
                                             cfg.tidVendorLatency);
@@ -36,6 +39,8 @@ System::System(const SystemConfig &cfg)
         procs.push_back(std::make_unique<TccProcessor>(
             n, cfg.numProcs, eventq, *net, homes, store, cfg.cache,
             proc_cfg, /*vendor_node=*/0, &arena));
+        dirs.back()->setTraceRecorder(&tracer);
+        procs.back()->setTraceRecorder(&tracer);
         procs.back()->setBarrier(
             [this](NodeId node, std::function<void()> resume) {
                 barrierArrive(node, std::move(resume));

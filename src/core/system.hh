@@ -33,6 +33,7 @@
 #include "mem/global_store.hh"
 #include "mem/home_map.hh"
 #include "noc/network.hh"
+#include "obs/trace_recorder.hh"
 #include "proc/processor.hh"
 #include "proc/tid_vendor.hh"
 #include "sim/event_queue.hh"
@@ -58,6 +59,9 @@ struct SystemConfig {
     /** Ablation: write-through commit (data with marks) instead of the
      *  paper's write-back commit. */
     bool writeThroughCommit = false;
+    /** Protocol trace ring size in events (storage is claimed lazily,
+     *  so runs with tracing off pay nothing). */
+    std::size_t traceCapacity = TraceRecorder::kDefaultCapacity;
 };
 
 /** Aggregated execution-time breakdown across all processors. */
@@ -125,6 +129,10 @@ class System
     const SerialChecker &checker() const { return serialChecker; }
     const TidVendor &vendor() const { return *tidVendor; }
     const SystemConfig &cfg() const { return config; }
+    /** The protocol event ring (populated when Trace categories are
+     *  enabled during the run; see obs/trace_recorder.hh). */
+    const TraceRecorder &traceRecorder() const { return tracer; }
+    TraceRecorder &traceRecorder() { return tracer; }
 
     /** Memory footprint of this run's arena (reporting/benches). */
     Arena::Stats arenaStats() const { return arena.stats(); }
@@ -154,6 +162,8 @@ class System
      */
     Arena arena;
     EventQueue eventq;
+    /** Structured protocol event ring; components hold a pointer. */
+    TraceRecorder tracer;
     std::unique_ptr<Network> net;
     HomeMap homes;
     GlobalStore store;

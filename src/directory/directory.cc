@@ -181,7 +181,7 @@ Directory::replyFromMemory(NodeId requester, Addr lineAddr)
     e.sharers.set(requester);
     noteSharerChange(e, before);
     ++dirStats.loadsServed;
-    tracef(TraceCat::Dir, "%llu: dir %u serve load %llx to proc %u",
+    TCC_TRACEF(TraceCat::Dir, "%llu: dir %u serve load %llx to proc %u",
            (unsigned long long)eventq.now(), nodeId,
            (unsigned long long)lineAddr, requester);
 
@@ -238,6 +238,8 @@ void
 Directory::handleSkip(const Message &msg)
 {
     ++dirStats.skipsReceived;
+    traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirSkip, nodeId,
+              msg.tid, msg.src);
     recordSkip(msg.tid);
     advance();
 }
@@ -265,6 +267,8 @@ Directory::advance()
     nowServing += moved;
     if (moved == 0)
         return;
+    traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirNstidAdvance,
+              nodeId, kInvalidTid, nowServing, moved);
 
     // Release deferred probes whose condition now holds.
     MsgVec still(deferredProbes.get_allocator());
@@ -323,6 +327,9 @@ Directory::handleProbe(const Message &msg)
             reply_now();
         } else {
             ++dirStats.probesDeferred;
+            traceEmit(tracer, TraceCat::Dir,
+                      TraceEventKind::DirProbeDefer, nodeId, msg.tid,
+                      msg.src, 1);
             deferredProbes.push_back(msg);
         }
         return;
@@ -331,6 +338,8 @@ Directory::handleProbe(const Message &msg)
         reply_now();
     } else {
         ++dirStats.probesDeferred;
+        traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirProbeDefer,
+                  nodeId, msg.tid, msg.src, 0);
         deferredProbes.push_back(msg);
     }
 }
@@ -456,11 +465,13 @@ Directory::finishCommit()
         const std::uint32_t n_inv =
             e.sharers.count() -
             (e.sharers.test(pending.committer) ? 1 : 0);
-        tracef(TraceCat::Dir,
-               "%llu: dir %u commit tid=%llu line=%llx invs=%u",
-               (unsigned long long)eventq.now(), nodeId,
-               (unsigned long long)pending.tid,
-               (unsigned long long)a, n_inv);
+        TCC_TRACEF(TraceCat::Dir,
+                   "%llu: dir %u commit tid=%llu line=%llx invs=%u",
+                   (unsigned long long)eventq.now(), nodeId,
+                   (unsigned long long)pending.tid,
+                   (unsigned long long)a, n_inv);
+        traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirInvalidate,
+                  nodeId, pending.tid, a, n_inv);
         // forEach visits in ascending node order (deterministic
         // emission); each visited word is snapshotted before the
         // clear() below mutates it, so in-place removal is safe.

@@ -111,6 +111,9 @@ class Directory
     /** Human-readable dump of any stuck state (debugging aid). */
     std::string debugDump() const;
 
+    /** Attach the System's protocol event ring (may be null). */
+    void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
+
   private:
     using WordMaskT = std::uint64_t;
 
@@ -240,6 +243,9 @@ class Directory
     std::uint64_t remoteSharerEntries = 0;
 
     Stats dirStats;
+
+    /** Protocol event ring (owned by the System; may be null). */
+    TraceRecorder *tracer = nullptr;
 };
 
 } // namespace tcc

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "noc/message.hh"
+#include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 #include "sim/random.hh"
@@ -95,6 +96,9 @@ class Network
     /** In-flight messages currently owned by the pool (diagnostics). */
     std::size_t messagesInFlight() const { return msgPool.live(); }
 
+    /** Attach the System's protocol event ring (may be null). */
+    void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
+
   protected:
     /**
      * Deliver @p msg at now + @p delay and account @p hops. The message
@@ -108,6 +112,13 @@ class Network
     deliver(Message msg, Tick delay, unsigned hops)
     {
         netStats.account(msg, hops);
+        traceEmit(tracer, TraceCat::Net, TraceEventKind::NetSend,
+                  msg.src, msg.tid, msg.addr,
+                  packNetInfo(msg.dst,
+                              static_cast<std::uint8_t>(msg.type),
+                              static_cast<std::uint8_t>(
+                                  trafficClassOf(msg.type)),
+                              msg.bytes));
         Message *slot = msgPool.alloc(std::move(msg));
         eventq.schedule(delay, [this, slot]() { dispatch(slot); });
     }
@@ -121,6 +132,15 @@ class Network
         const NodeId dst = slot->dst;
         if (!handlers[dst])
             panic("message to unconnected node %u", dst);
+        // NetDeliver packs the *source* in the route-info word, so the
+        // pair of events for one message reads as src->dst twice.
+        traceEmit(tracer, TraceCat::Net, TraceEventKind::NetDeliver,
+                  dst, slot->tid, slot->addr,
+                  packNetInfo(slot->src,
+                              static_cast<std::uint8_t>(slot->type),
+                              static_cast<std::uint8_t>(
+                                  trafficClassOf(slot->type)),
+                              slot->bytes));
         handlers[dst](*slot);
         msgPool.free(slot);
     }
@@ -128,6 +148,7 @@ class Network
     std::vector<Handler> handlers;
     NetworkStats netStats;
     ObjectPool<Message> msgPool;
+    TraceRecorder *tracer = nullptr;
 };
 
 /** Fixed-latency, infinite-bandwidth network for unit tests. */

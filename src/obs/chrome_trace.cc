@@ -1,0 +1,297 @@
+#include "obs/chrome_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "noc/message.hh"
+
+namespace tcc {
+
+namespace {
+
+/// Synthetic Chrome "thread ids" for the non-processor tracks.
+constexpr std::uint32_t kDirTidBase = 1000;
+constexpr std::uint32_t kNetTid = 2000;
+
+/// Stream one JSON event object, comma-separated from its predecessor.
+class EventSink
+{
+  public:
+    explicit EventSink(std::ostream &os_) : os(os_) {}
+
+    void
+    meta(std::uint32_t tid, const char *name)
+    {
+        sep();
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "{\"ph\":\"M\",\"pid\":0,\"tid\":%" PRIu32
+                      ",\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                      tid, name);
+        os << line;
+    }
+
+    /// Complete ("X") duration slice; args is a pre-built JSON object
+    /// ("{...}") or empty for none.
+    void
+    slice(std::uint32_t tid, Tick ts, Tick dur, const std::string &name,
+          const std::string &args)
+    {
+        sep();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"ph\":\"X\",\"pid\":0,\"tid\":%" PRIu32
+                      ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"name\":\"",
+                      tid, ts, dur);
+        os << line << name << '"';
+        if (!args.empty())
+            os << ",\"args\":" << args;
+        os << '}';
+    }
+
+    /// Thread-scoped instant ("i") event.
+    void
+    instant(std::uint32_t tid, Tick ts, const char *name,
+            const std::string &args)
+    {
+        sep();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"ph\":\"i\",\"pid\":0,\"tid\":%" PRIu32
+                      ",\"ts\":%" PRIu64 ",\"s\":\"t\",\"name\":\"",
+                      tid, ts);
+        os << line << name << '"';
+        if (!args.empty())
+            os << ",\"args\":" << args;
+        os << '}';
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (any)
+            os << ",\n";
+        any = true;
+    }
+
+    std::ostream &os;
+    bool any = false;
+};
+
+std::string
+u64Arg(const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+    return buf;
+}
+
+std::string
+hexArg(const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\":\"0x%" PRIx64 "\"", key, v);
+    return buf;
+}
+
+std::string
+wrapObj(std::initializer_list<std::string> fields)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const std::string &f : fields) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += f;
+    }
+    out += '}';
+    return out;
+}
+
+/// Per-processor slice-building state.
+struct ProcTrack {
+    bool txOpen = false;      ///< a transaction slice is in progress
+    Tick txBegin = 0;         ///< committing-attempt begin
+    Tick attemptBegin = 0;    ///< current attempt begin
+    bool inCommit = false;
+    Tick commitBegin = 0;
+    std::uint32_t retries = 0;
+};
+
+} // namespace
+
+void
+exportChromeTrace(const TraceRecorder &rec, std::uint32_t num_nodes,
+                  std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    EventSink sink(os);
+
+    for (std::uint32_t n = 0; n < num_nodes; ++n) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "proc %" PRIu32, n);
+        sink.meta(n, name);
+        std::snprintf(name, sizeof(name), "dir %" PRIu32, n);
+        sink.meta(kDirTidBase + n, name);
+    }
+    sink.meta(kNetTid, "net");
+
+    std::vector<ProcTrack> tracks(num_nodes);
+    auto track = [&tracks](NodeId n) -> ProcTrack * {
+        if (n >= tracks.size())
+            return nullptr;
+        return &tracks[n];
+    };
+
+    rec.forEach([&](const TraceEvent &e) {
+        switch (e.kind) {
+          case TraceEventKind::TxBegin: {
+            ProcTrack *t = track(e.node);
+            if (t == nullptr)
+                break;
+            if (!t->txOpen) {
+                t->txOpen = true;
+                t->txBegin = e.tick;
+                t->retries = 0;
+            }
+            t->attemptBegin = e.tick;
+            t->inCommit = false;
+            break;
+          }
+          case TraceEventKind::CommitStart: {
+            ProcTrack *t = track(e.node);
+            if (t == nullptr)
+                break;
+            if (t->txOpen && e.tick >= t->attemptBegin) {
+                sink.slice(e.node, t->attemptBegin,
+                           e.tick - t->attemptBegin, "exec", "");
+            }
+            t->inCommit = true;
+            t->commitBegin = e.tick;
+            break;
+          }
+          case TraceEventKind::TxCommit: {
+            ProcTrack *t = track(e.node);
+            if (t == nullptr)
+                break;
+            if (t->inCommit && e.tick >= t->commitBegin) {
+                sink.slice(e.node, t->commitBegin,
+                           e.tick - t->commitBegin, "commit", "");
+            }
+            const Tick begin = t->txOpen ? t->txBegin
+                               : t->inCommit ? t->commitBegin
+                                             : e.tick;
+            char name[48];
+            std::snprintf(name, sizeof(name), "tx %" PRIu64,
+                          static_cast<std::uint64_t>(e.tid));
+            sink.slice(e.node, begin, e.tick - begin, name,
+                       wrapObj({u64Arg("retries", t->retries),
+                                u64Arg("read_words", e.arg0),
+                                u64Arg("write_words", e.arg1)}));
+            *t = ProcTrack{};
+            break;
+          }
+          case TraceEventKind::TxViolation: {
+            ProcTrack *t = track(e.node);
+            if (t != nullptr) {
+                // The violated attempt's exec slice (commit slice too,
+                // when it got that far) ends here.
+                const Tick from = t->inCommit ? t->commitBegin
+                                              : t->attemptBegin;
+                if (t->txOpen && e.tick >= from) {
+                    sink.slice(e.node, from, e.tick - from,
+                               t->inCommit ? "commit (violated)"
+                                           : "exec (violated)",
+                               "");
+                }
+                t->inCommit = false;
+                ++t->retries;
+            }
+            sink.instant(e.node, e.tick, "violation",
+                         wrapObj({u64Arg("consecutive", e.arg0)}));
+            break;
+          }
+          case TraceEventKind::ViolationCause:
+            sink.instant(e.node, e.tick, "violation_cause",
+                         wrapObj({hexArg("addr", e.arg0),
+                                  u64Arg("writer_tid", e.tid)}));
+            break;
+          case TraceEventKind::SoloDrain:
+            sink.instant(e.node, e.tick, "solo_drain",
+                         wrapObj({u64Arg("batches", e.arg0)}));
+            break;
+          case TraceEventKind::TidAcquire:
+            sink.instant(e.node, e.tick, "tid_acquire",
+                         wrapObj({u64Arg("tid", e.tid)}));
+            break;
+          case TraceEventKind::ProbeSend:
+            sink.instant(e.node, e.tick, "probe_send",
+                         wrapObj({u64Arg("dir", e.arg0),
+                                  u64Arg("want_write", e.arg1)}));
+            break;
+          case TraceEventKind::ProbeReplyRecv:
+            sink.instant(e.node, e.tick, "probe_reply",
+                         wrapObj({u64Arg("dir", e.arg0),
+                                  u64Arg("nstid", e.arg1)}));
+            break;
+          case TraceEventKind::SkipSend:
+            sink.instant(e.node, e.tick, "skip_send",
+                         wrapObj({u64Arg("dir", e.arg0)}));
+            break;
+          case TraceEventKind::MarkSend:
+            sink.instant(e.node, e.tick, "mark_send",
+                         wrapObj({u64Arg("dir", e.arg0),
+                                  u64Arg("lines", e.arg1)}));
+            break;
+          case TraceEventKind::DirSkip:
+            sink.instant(kDirTidBase + e.node, e.tick, "skip",
+                         wrapObj({u64Arg("tid", e.tid),
+                                  u64Arg("from", e.arg0)}));
+            break;
+          case TraceEventKind::DirProbeDefer:
+            sink.instant(kDirTidBase + e.node, e.tick, "probe_defer",
+                         wrapObj({u64Arg("tid", e.tid),
+                                  u64Arg("from", e.arg0)}));
+            break;
+          case TraceEventKind::DirNstidAdvance:
+            sink.instant(kDirTidBase + e.node, e.tick, "nstid_advance",
+                         wrapObj({u64Arg("nstid", e.arg0),
+                                  u64Arg("consumed", e.arg1)}));
+            break;
+          case TraceEventKind::DirInvalidate:
+            sink.instant(kDirTidBase + e.node, e.tick, "invalidate",
+                         wrapObj({hexArg("addr", e.arg0),
+                                  u64Arg("count", e.arg1),
+                                  u64Arg("tid", e.tid)}));
+            break;
+          case TraceEventKind::NetSend:
+          case TraceEventKind::NetDeliver: {
+            const bool send = e.kind == TraceEventKind::NetSend;
+            const auto type =
+                static_cast<MsgType>(netInfoType(e.arg1));
+            char name[64];
+            std::snprintf(name, sizeof(name), "%s %s",
+                          send ? "send" : "deliver", msgTypeName(type));
+            sink.instant(kNetTid, e.tick, name,
+                         wrapObj({u64Arg(send ? "src" : "dst",
+                                         e.node),
+                                  u64Arg(send ? "dst" : "src",
+                                         netInfoDst(e.arg1)),
+                                  hexArg("addr", e.arg0),
+                                  u64Arg("bytes", netInfoBytes(e.arg1)),
+                                  u64Arg("class", netInfoClass(e.arg1))}));
+            break;
+          }
+          default:
+            break;
+        }
+    });
+
+    os << "\n]}\n";
+}
+
+} // namespace tcc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Perfetto / Chrome trace_event JSON exporter for the TraceRecorder.
+ *
+ * Mapping (JSON Array Format of the trace_event spec, loadable by
+ * both chrome://tracing and ui.perfetto.dev):
+ *   - the whole System is pid 0;
+ *   - processor n is thread n ("proc n"), directory n is thread
+ *     1000+n ("dir n"), and the interconnect is thread 2000 ("net");
+ *   - transactions become nested duration slices on their processor's
+ *     track: an enclosing "tx <tid>" slice from the committing
+ *     attempt's begin to validation, containing an "exec" and a
+ *     "commit" phase slice;
+ *   - violations, probe/skip/mark traffic, NSTID advances, and
+ *     invalidations are instant events with their payloads in args;
+ *   - one simulated cycle is rendered as one microsecond (the formats
+ *     have no native "cycles" unit).
+ *
+ * The export is a pure function of the recorder's contents, so traces
+ * of deterministic runs are byte-identical and golden-testable.
+ */
+
+#ifndef TCC_OBS_CHROME_TRACE_HH
+#define TCC_OBS_CHROME_TRACE_HH
+
+#include <ostream>
+
+#include "obs/trace_recorder.hh"
+
+namespace tcc {
+
+/**
+ * Write the recorder's stored events as Chrome trace JSON to @p os.
+ * @p num_nodes bounds the thread-name metadata (pass the System's
+ * processor count).
+ */
+void exportChromeTrace(const TraceRecorder &rec, std::uint32_t num_nodes,
+                       std::ostream &os);
+
+} // namespace tcc
+
+#endif // TCC_OBS_CHROME_TRACE_HH

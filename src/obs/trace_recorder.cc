@@ -1,0 +1,72 @@
+#include "obs/trace_recorder.hh"
+
+#include <new>
+
+namespace tcc {
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::TxBegin: return "tx_begin";
+      case TraceEventKind::TxViolation: return "tx_violation";
+      case TraceEventKind::ViolationCause: return "violation_cause";
+      case TraceEventKind::SoloDrain: return "solo_drain";
+      case TraceEventKind::TidAcquire: return "tid_acquire";
+      case TraceEventKind::ProbeSend: return "probe_send";
+      case TraceEventKind::ProbeReplyRecv: return "probe_reply";
+      case TraceEventKind::SkipSend: return "skip_send";
+      case TraceEventKind::MarkSend: return "mark_send";
+      case TraceEventKind::CommitStart: return "commit_start";
+      case TraceEventKind::TxCommit: return "tx_commit";
+      case TraceEventKind::DirSkip: return "dir_skip";
+      case TraceEventKind::DirProbeDefer: return "dir_probe_defer";
+      case TraceEventKind::DirNstidAdvance: return "dir_nstid_advance";
+      case TraceEventKind::DirInvalidate: return "dir_invalidate";
+      case TraceEventKind::NetSend: return "net_send";
+      case TraceEventKind::NetDeliver: return "net_deliver";
+      default: return "?";
+    }
+}
+
+TraceRecorder::TraceRecorder(const EventQueue &eq, Arena *arena_,
+                             std::size_t capacity)
+    : eventq(eq), arena(arena_), cap(capacity ? capacity : 1)
+{}
+
+TraceRecorder::~TraceRecorder()
+{
+    // Arena storage dies with the arena; only heap fallback is ours.
+    if (heapStorage)
+        ::operator delete(buf, std::align_val_t{alignof(TraceEvent)});
+}
+
+void
+TraceRecorder::push(TraceEventKind kind, NodeId node, Tid tid,
+                    std::uint64_t arg0, std::uint64_t arg1)
+{
+    if (buf == nullptr) {
+        // First event of the run: claim the ring storage now, so
+        // runs that never trace cost no memory at all.
+        if (arena != nullptr) {
+            buf = static_cast<TraceEvent *>(arena->allocate(
+                cap * sizeof(TraceEvent), alignof(TraceEvent)));
+        } else {
+            buf = static_cast<TraceEvent *>(::operator new(
+                cap * sizeof(TraceEvent),
+                std::align_val_t{alignof(TraceEvent)}));
+            heapStorage = true;
+        }
+    }
+    TraceEvent &e = buf[static_cast<std::size_t>(total % cap)];
+    e.tick = eventq.now();
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.tid = tid;
+    e.node = node;
+    e.kind = kind;
+    e.pad = 0;
+    ++total;
+}
+
+} // namespace tcc

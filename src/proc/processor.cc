@@ -103,6 +103,8 @@ TccProcessor::beginAttempt()
         if (auto fresh = source->regenerateOps())
             curOps = std::move(*fresh);
     }
+    traceEmit(tracer, TraceCat::Proc, TraceEventKind::TxBegin, nodeId,
+              tid, consecViolations, curOps.size());
     opIdx = 0;
     lastLoaded = 0;
     writeBuf.clear();
@@ -380,6 +382,8 @@ TccProcessor::startCommit()
         if (!writingVec.test(d))
             sOnlyDirs.push_back(d);
     });
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::CommitStart,
+              nodeId, tid, wDirs.size(), sOnlyDirs.size());
 
     if (solo) {
         soloCommit();
@@ -396,22 +400,10 @@ TccProcessor::startCommit()
             post(req);
         }
         // Overlap the TID round trip with early NSTID probes.
-        for (NodeId d : wDirs) {
-            Message p;
-            p.type = MsgType::Probe;
-            p.dst = d;
-            p.tid = kInvalidTid;
-            p.wantWrite = true;
-            post(p);
-        }
-        for (NodeId d : sOnlyDirs) {
-            Message p;
-            p.type = MsgType::Probe;
-            p.dst = d;
-            p.tid = kInvalidTid;
-            p.wantWrite = false;
-            post(p);
-        }
+        for (NodeId d : wDirs)
+            sendProbe(d, kInvalidTid, true);
+        for (NodeId d : sOnlyDirs)
+            sendProbe(d, kInvalidTid, false);
         return; // continue in onTidReply
     }
     proceedAfterTid();
@@ -423,6 +415,8 @@ TccProcessor::onTidReply(const Message &msg)
     tidReqOutstanding = false;
     tid = msg.tid;
     lastTidAcquired = msg.tid;
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::TidAcquire,
+              nodeId, msg.tid);
     if (phase == Phase::Commit && !skipsSent) {
         proceedAfterTid();
         return;
@@ -442,6 +436,8 @@ TccProcessor::proceedAfterTid()
     for (NodeId d = 0; d < numNodes; ++d) {
         if (writingVec.test(d))
             continue;
+        traceEmit(tracer, TraceCat::Commit, TraceEventKind::SkipSend,
+                  nodeId, tid, d);
         Message s;
         s.type = MsgType::Skip;
         s.dst = d;
@@ -449,28 +445,16 @@ TccProcessor::proceedAfterTid()
         post(s);
     }
     for (NodeId d : wDirs) {
-        if (earlyAnswered.test(d) && earlyNstid[d] == tid) {
+        if (earlyAnswered.test(d) && earlyNstid[d] == tid)
             sendMarksTo(d);
-        } else {
-            Message p;
-            p.type = MsgType::Probe;
-            p.dst = d;
-            p.tid = tid;
-            p.wantWrite = true;
-            post(p);
-        }
+        else
+            sendProbe(d, tid, true);
     }
     for (NodeId d : sOnlyDirs) {
-        if (earlyAnswered.test(d) && earlyNstid[d] >= tid) {
+        if (earlyAnswered.test(d) && earlyNstid[d] >= tid)
             sValidated.set(d);
-        } else {
-            Message p;
-            p.type = MsgType::Probe;
-            p.dst = d;
-            p.tid = tid;
-            p.wantWrite = false;
-            post(p);
-        }
+        else
+            sendProbe(d, tid, false);
     }
     checkValidationDone();
 }
@@ -478,6 +462,8 @@ TccProcessor::proceedAfterTid()
 void
 TccProcessor::onProbeReply(const Message &msg)
 {
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::ProbeReplyRecv,
+              nodeId, msg.tid, msg.src, msg.nstid);
     if (phase == Phase::Exec && soloRequested && !solo &&
         msg.tid == tid && msg.tid != kInvalidTid) {
         // Solo acquisition: this directory now serves our TID.
@@ -517,12 +503,7 @@ TccProcessor::interpretNstid(NodeId dir, Tid observed)
             sendMarksTo(dir);
         } else if (observed < tid) {
             // Early snapshot was behind: issue a real (deferred) probe.
-            Message p;
-            p.type = MsgType::Probe;
-            p.dst = dir;
-            p.tid = tid;
-            p.wantWrite = true;
-            post(p);
+            sendProbe(dir, tid, true);
         }
         // observed > tid would mean the directory passed our TID
         // without us committing - only possible for stale replies,
@@ -543,13 +524,21 @@ TccProcessor::interpretNstid(NodeId dir, Tid observed)
         sValidated.set(dir);
         checkValidationDone();
     } else {
-        Message p;
-        p.type = MsgType::Probe;
-        p.dst = dir;
-        p.tid = tid;
-        p.wantWrite = false;
-        post(p);
+        sendProbe(dir, tid, false);
     }
+}
+
+void
+TccProcessor::sendProbe(NodeId dir, Tid probe_tid, bool want_write)
+{
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::ProbeSend,
+              nodeId, probe_tid, dir, want_write ? 1 : 0);
+    Message p;
+    p.type = MsgType::Probe;
+    p.dst = dir;
+    p.tid = probe_tid;
+    p.wantWrite = want_write;
+    post(p);
 }
 
 void
@@ -559,6 +548,8 @@ TccProcessor::sendMarksTo(NodeId dir)
         panic("proc %u: writing dir %u with empty write set", nodeId,
               dir);
     const auto &lines = writeSetByDir[dir];
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::MarkSend,
+              nodeId, tid, dir, lines.size());
     for (const auto &line : lines) {
         Message m;
         m.type = MsgType::Mark;
@@ -590,10 +581,12 @@ void
 TccProcessor::completeCommit()
 {
     validated = true;
-    tracef(TraceCat::Commit,
-           "%llu: proc %u commits tid=%llu reads=%zu writes=%zu",
-           (unsigned long long)eventq.now(), nodeId,
-           (unsigned long long)tid, readLog.size(), writeBuf.size());
+    TCC_TRACEF(TraceCat::Commit,
+               "%llu: proc %u commits tid=%llu reads=%zu writes=%zu",
+               (unsigned long long)eventq.now(), nodeId,
+               (unsigned long long)tid, readLog.size(), writeBuf.size());
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::TxCommit,
+              nodeId, tid, readLog.size(), writeBuf.size());
 
     // Publish the write buffer: this is the transaction's global
     // serialization point in the functional model.
@@ -666,14 +659,8 @@ TccProcessor::startSoloAcquisition()
     // transaction retired there. Once all replies arrive, nothing can
     // violate this transaction and nothing younger can commit anywhere.
     soloProbesPending = numNodes;
-    for (NodeId d = 0; d < numNodes; ++d) {
-        Message p;
-        p.type = MsgType::Probe;
-        p.dst = d;
-        p.tid = tid;
-        p.wantWrite = true;
-        post(p);
-    }
+    for (NodeId d = 0; d < numNodes; ++d)
+        sendProbe(d, tid, true);
 }
 
 std::vector<std::pair<Addr, std::uint64_t>>
@@ -705,6 +692,8 @@ TccProcessor::startDrain()
     // Emit batches in ascending directory order: message order must be
     // a function of the write set, never of container iteration order.
     drainAcksPending = static_cast<std::uint32_t>(by_dir.size());
+    traceEmit(tracer, TraceCat::Proc, TraceEventKind::SoloDrain, nodeId,
+              tid, drainAcksPending);
     for (NodeId d = 0; d < numNodes; ++d) {
         auto it = by_dir.find(d);
         if (it == by_dir.end())
@@ -746,6 +735,8 @@ void
 TccProcessor::soloCommit()
 {
     validated = true;
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::TxCommit,
+              nodeId, tid, readLog.size(), writeBuf.size());
     for (const auto &[addr, value] : writeBuf)
         globalStore.write(addr, value);
     if (commitHook)
@@ -802,13 +793,15 @@ TccProcessor::soloCommit()
 void
 TccProcessor::violate()
 {
-    tracef(TraceCat::Proc,
-           "%llu: proc %u VIOLATES tid=%lld phase=%d skipsSent=%d",
-           (unsigned long long)eventq.now(), nodeId,
-           tid == kInvalidTid ? -1LL : (long long)tid,
-           static_cast<int>(phase), skipsSent ? 1 : 0);
+    TCC_TRACEF(TraceCat::Proc,
+               "%llu: proc %u VIOLATES tid=%lld phase=%d skipsSent=%d",
+               (unsigned long long)eventq.now(), nodeId,
+               tid == kInvalidTid ? -1LL : (long long)tid,
+               static_cast<int>(phase), skipsSent ? 1 : 0);
     ++procStats.violations;
     ++consecViolations;
+    traceEmit(tracer, TraceCat::Proc, TraceEventKind::TxViolation,
+              nodeId, tid, consecViolations);
     procStats.violationCycles +=
         eventq.now() - attemptStart + config.violationRestartPenalty;
 
@@ -890,18 +883,22 @@ TccProcessor::onInv(const Message &msg)
         post(a);
     }
 
-    tracef(TraceCat::Proc,
-           "%llu: proc %u inv addr=%llx from tid=%lld sr=%d "
-           "myTid=%lld phase=%d validated=%d keep=%d",
-           (unsigned long long)eventq.now(), nodeId,
-           (unsigned long long)msg.addr, (long long)msg.tid,
-           out.srOverlap ? 1 : 0,
-           tid == kInvalidTid ? -1LL : (long long)tid,
-           static_cast<int>(phase), validated ? 1 : 0,
-           keep_sharer ? 1 : 0);
+    TCC_TRACEF(TraceCat::Proc,
+               "%llu: proc %u inv addr=%llx from tid=%lld sr=%d "
+               "myTid=%lld phase=%d validated=%d keep=%d",
+               (unsigned long long)eventq.now(), nodeId,
+               (unsigned long long)msg.addr, (long long)msg.tid,
+               out.srOverlap ? 1 : 0,
+               tid == kInvalidTid ? -1LL : (long long)tid,
+               static_cast<int>(phase), validated ? 1 : 0,
+               keep_sharer ? 1 : 0);
 
     if (violating) {
         ++procStats.violationAddrs[msg.addr];
+        // The cause record names the *writer's* TID in the tid field.
+        traceEmit(tracer, TraceCat::Proc,
+                  TraceEventKind::ViolationCause, nodeId, msg.tid,
+                  msg.addr);
         violate();
     }
 }

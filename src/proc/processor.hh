@@ -164,6 +164,9 @@ class TccProcessor
     /** Human-readable dump of the commit-engine state (debugging). */
     std::string debugDump() const;
 
+    /** Attach the System's protocol event ring (may be null). */
+    void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
+
   private:
     enum class Phase { Idle, Exec, Commit, Done };
 
@@ -187,6 +190,8 @@ class TccProcessor
     void startCommit();
     void recordCommitStats(std::size_t dirs_touched);
     void proceedAfterTid();
+    /** Post one Probe (all probe emission funnels through here). */
+    void sendProbe(NodeId dir, Tid probe_tid, bool want_write);
     void sendMarksTo(NodeId dir);
     void checkValidationDone();
     void completeCommit();
@@ -222,6 +227,8 @@ class TccProcessor
     BarrierFn barrier;
     CommitHook commitHook;
     std::function<void()> doneHook;
+    /** Protocol event ring (owned by the System; may be null). */
+    TraceRecorder *tracer = nullptr;
 
     // --- per-transaction state ---------------------------------------
     Phase phase = Phase::Idle;

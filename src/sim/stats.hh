@@ -9,6 +9,7 @@
 #define TCC_SIM_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,9 +20,13 @@ namespace tcc {
  * A sampled distribution supporting mean and percentile queries.
  * Stores every sample; our runs are small enough (tens of thousands of
  * transactions) that this is the simplest correct choice. Percentile
- * queries select into a local copy, so const readers never mutate
- * shared state and a Distribution can be read from several sweep
- * threads at once.
+ * queries sort a cached copy once and reuse it until the next
+ * sample()/merge()/reset(), so a stats dump that asks for several
+ * percentiles pays for one sort, not one copy per query. The cache
+ * makes percentile() logically-but-not-physically const: queries are
+ * safe from the single thread that owns the Distribution (dumps run
+ * post-run on the owning thread; sweep workers own disjoint Systems
+ * per DESIGN.md section 7), but not from concurrent readers.
  */
 class Distribution
 {
@@ -31,6 +36,7 @@ class Distribution
     sample(double v)
     {
         samples.push_back(v);
+        sortedValid = false;
     }
 
     /** Number of samples recorded. */
@@ -73,12 +79,8 @@ class Distribution
         auto idx = static_cast<std::size_t>(rank + 0.5);
         if (idx >= samples.size())
             idx = samples.size() - 1;
-        // Select into a scratch copy: percentile() stays genuinely
-        // const, so concurrent readers need no synchronization.
-        std::vector<double> scratch = samples;
-        std::nth_element(scratch.begin(), scratch.begin() + idx,
-                         scratch.end());
-        return scratch[idx];
+        ensureSorted();
+        return sorted[idx];
     }
 
     /** Largest sample, or 0 with no samples. */
@@ -90,11 +92,37 @@ class Distribution
         return *std::max_element(samples.begin(), samples.end());
     }
 
+    /** Smallest sample, or 0 with no samples. */
+    double
+    min() const
+    {
+        if (samples.empty())
+            return 0.0;
+        return *std::min_element(samples.begin(), samples.end());
+    }
+
+    /** Population standard deviation, or 0 with < 2 samples. */
+    double
+    stddev() const
+    {
+        if (samples.size() < 2)
+            return 0.0;
+        const double m = mean();
+        double acc = 0.0;
+        for (double v : samples) {
+            const double d = v - m;
+            acc += d * d;
+        }
+        return std::sqrt(acc / static_cast<double>(samples.size()));
+    }
+
     /** Discard all samples. */
     void
     reset()
     {
         samples.clear();
+        sorted.clear();
+        sortedValid = false;
     }
 
     /** Merge all samples of @p other into this distribution. */
@@ -103,10 +131,24 @@ class Distribution
     {
         samples.insert(samples.end(), other.samples.begin(),
                        other.samples.end());
+        sortedValid = false;
     }
 
   private:
+    void
+    ensureSorted() const
+    {
+        if (sortedValid)
+            return;
+        sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        sortedValid = true;
+    }
+
     std::vector<double> samples;
+    /** percentile() cache; rebuilt lazily after any mutation. */
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
 };
 
 } // namespace tcc

@@ -375,5 +375,44 @@ TEST(Distribution, SampleAfterPercentileQuery)
     EXPECT_DOUBLE_EQ(d.max(), 100.0);
 }
 
+TEST(Distribution, MinAndStddev)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    d.sample(7);
+    EXPECT_DOUBLE_EQ(d.min(), 7.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0); // < 2 samples
+    d.sample(3);
+    d.sample(11);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+    // Population stddev of {7, 3, 11}: mean 7, variance 32/3.
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 3.0), 1e-12);
+}
+
+TEST(Distribution, PercentileCacheInvalidation)
+{
+    // The sorted cache must be rebuilt after every mutation path:
+    // sample(), merge(), and reset().
+    Distribution d;
+    for (int i = 1; i <= 10; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 10.0); // cache built here
+    d.sample(1000);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 1000.0);
+
+    Distribution other;
+    other.sample(-5);
+    d.merge(other);
+    EXPECT_DOUBLE_EQ(d.percentile(0), -5.0);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+    d.sample(42);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+}
+
 } // namespace
 } // namespace tcc
