@@ -41,6 +41,9 @@ struct RunOutcome {
     /** Memory footprint of the run's arena (see common/arena.hh). */
     std::uint64_t arenaPeakBytes = 0;
     std::uint64_t arenaChunks = 0;
+    /** Verdicts of any checkers armed via RunOptions::check. */
+    CheckVerdict serial;
+    CheckVerdict invariants;
 };
 
 /** Tweaks applied on top of the default Table 2 configuration. */
@@ -51,7 +54,11 @@ struct RunOptions {
     Granularity granularity = Granularity::Word;
     HomePolicy homePolicy = HomePolicy::FirstTouch;
     std::uint32_t agingThreshold = 3;
-    bool idealNetwork = false;
+    /** Interconnect (model + parameters); hopLatency above overrides
+     *  network.mesh.hopLatency for the mesh-based models. */
+    NetworkConfig network;
+    /** Checkers to arm (chaos_sweep runs with both on). */
+    CheckConfig check;
     /** Directory cache entries (0 = perfectly sized). */
     std::uint32_t dirCacheEntries = 0;
     /** Write-through commit ablation. */
@@ -64,35 +71,37 @@ runApp(const AppProfile &profile, const RunOptions &opt)
 {
     SystemConfig cfg;
     cfg.numProcs = opt.procs;
-    cfg.mesh.hopLatency = opt.hopLatency;
+    cfg.network = opt.network;
+    cfg.network.mesh.hopLatency = opt.hopLatency;
     cfg.cache.granularity = opt.granularity;
     cfg.homePolicy = opt.homePolicy;
     cfg.processor.agingThreshold = opt.agingThreshold;
-    cfg.idealNetwork = opt.idealNetwork;
+    cfg.check = opt.check;
     cfg.directory.dirCacheEntries = opt.dirCacheEntries;
     cfg.writeThroughCommit = opt.writeThroughCommit;
 
     System sys(cfg);
     auto sources = setupApp(sys, profile, opt.seed);
-    auto res = sys.run();
+    const RunResult res = sys.run();
 
     RunOutcome out;
     out.app = profile.name;
     out.procs = opt.procs;
     out.cycles = res.cycles;
     out.completed = res.completed;
-    out.breakdown = sys.breakdown();
+    out.breakdown = res.breakdown;
     out.characterization = characterize(sys, profile.name);
     out.traffic = trafficPerInstr(sys, profile.name);
-    for (NodeId p = 0; p < sys.numProcs(); ++p) {
-        out.committedTxns += sys.proc(p).stats().txnsCommitted;
-        out.violations += sys.proc(p).stats().violations;
+    out.committedTxns = res.committedTxns;
+    out.violations = res.violations;
+    for (NodeId p = 0; p < sys.numProcs(); ++p)
         out.dirCacheMisses += sys.directory(p).stats().dirCacheMisses;
-    }
-    out.committedInstructions = sys.committedInstructions();
+    out.committedInstructions = res.committedInstructions;
     const Arena::Stats as = sys.arenaStats();
     out.arenaPeakBytes = as.peakBytes;
     out.arenaChunks = as.chunks;
+    out.serial = res.serial;
+    out.invariants = res.invariants;
     return out;
 }
 

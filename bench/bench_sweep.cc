@@ -19,6 +19,7 @@
  *             hardware threads)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +29,7 @@
 
 #include "bench_common.hh"
 #include "common/log.hh"
+#include "noc/chaos_network.hh"
 #include "workload/scripted_source.hh"
 
 // Configure-time git revision (set by bench/CMakeLists.txt) so each
@@ -116,6 +118,52 @@ flatMapEventsPerSec(std::uint32_t txns_per_phase)
     out.arenaPeakBytes = as.peakBytes;
     out.arenaChunks = as.chunks;
     return out;
+}
+
+/**
+ * Chaos gate: run every fault preset over one application with both
+ * checkers armed; returns how many presets came back clean. Recorded
+ * in BENCH_sweep.json as chaos_configs_passed so the trend file shows
+ * when a protocol change stops tolerating an adversarial network.
+ */
+std::size_t
+chaosConfigsPassed(bool smoke, unsigned jobs, std::size_t *total)
+{
+    const auto &presets = tcc::chaosPresetNames();
+    *total = presets.size();
+    SweepRunner runner(jobs);
+    const auto outcomes = sweepIndex<RunOutcome>(
+        runner, presets.size(), [&](std::size_t i) {
+            RunOptions opt;
+            opt.procs = smoke ? 4u : 8u;
+            opt.seed = 1 + i;
+            opt.network.model = NetworkConfig::Model::Chaos;
+            opt.network.chaos = tcc::chaosPreset(presets[i]);
+            opt.network.chaos.seed = 0xC7A05 + i;
+            opt.check.serial = true;
+            opt.check.invariants = true;
+            AppProfile prof = appProfile("radix");
+            if (smoke) {
+                prof.phases = 1;
+                prof.txnsPerPhase =
+                    std::min<std::uint32_t>(prof.txnsPerPhase, 64);
+            }
+            return runApp(prof, opt);
+        });
+    std::size_t passed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &out = outcomes[i];
+        if (out.completed && out.serial.ok && out.invariants.ok) {
+            ++passed;
+        } else {
+            std::fprintf(stderr, "chaos preset '%s' FAILED: %s\n",
+                         presets[i].c_str(),
+                         !out.completed    ? "did not complete"
+                         : !out.serial.ok ? out.serial.error.c_str()
+                                          : out.invariants.error.c_str());
+        }
+    }
+    return passed;
 }
 
 /**
@@ -241,6 +289,13 @@ main(int argc, char **argv)
                 "(scripted conflict)\n",
                 (unsigned long long)traceEvents);
 
+    std::size_t chaosTotal = 0;
+    const std::size_t chaosPassed =
+        chaosConfigsPassed(smoke, jobs, &chaosTotal);
+    std::printf("chaos gate         : %zu / %zu presets clean "
+                "(serial + invariant checkers)\n",
+                chaosPassed, chaosTotal);
+
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot open %s for writing\n",
@@ -258,6 +313,8 @@ main(int argc, char **argv)
                  "  \"arena_peak_bytes\": %llu,\n"
                  "  \"arena_chunks\": %llu,\n"
                  "  \"trace_events_captured\": %llu,\n"
+                 "  \"chaos_configs_passed\": %zu,\n"
+                 "  \"chaos_configs_total\": %zu,\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"git_rev\": \"%s\",\n"
                  "  \"config\": {\n"
@@ -271,7 +328,8 @@ main(int argc, char **argv)
                  flat.eventsPerSec,
                  (unsigned long long)flat.arenaPeakBytes,
                  (unsigned long long)flat.arenaChunks,
-                 (unsigned long long)traceEvents, hw, TCC_GIT_REV,
+                 (unsigned long long)traceEvents, chaosPassed,
+                 chaosTotal, hw, TCC_GIT_REV,
                  smoke ? "true" : "false", nApps, grid.size());
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());
@@ -283,6 +341,13 @@ main(int argc, char **argv)
     // thread can't speed up by oversubscribing, so the gate only
     // arms when the hardware can actually run workers side by side
     // (the JSON's hardware_concurrency key says which case this was).
+    if (chaosPassed != chaosTotal) {
+        std::fprintf(stderr,
+                     "FAIL: %zu of %zu chaos presets broke the "
+                     "protocol checkers\n",
+                     chaosTotal - chaosPassed, chaosTotal);
+        return 1;
+    }
     if (!smoke && jobs > 1 && hw > 1 && speedup < 1.0) {
         std::fprintf(stderr,
                      "FAIL: parallel sweep slower than serial "

@@ -74,7 +74,7 @@ main()
 {
     SystemConfig cfg;
     cfg.numProcs = kProcs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
     System sys(cfg);
 
     for (std::uint32_t a = 0; a < kAccounts; ++a)
@@ -87,7 +87,7 @@ main()
     for (NodeId p = 0; p < kProcs; ++p)
         sys.setSource(p, &tellers[p]);
 
-    auto res = sys.run();
+    const RunResult res = sys.run();
     std::printf("completed: %s in %llu cycles\n",
                 res.completed ? "yes" : "NO",
                 (unsigned long long)res.cycles);
@@ -103,15 +103,10 @@ main()
                 (unsigned long long)expected,
                 total == expected ? "CONSERVED" : "LOST MONEY");
 
-    std::uint64_t violations = 0, commits = 0;
-    for (NodeId p = 0; p < kProcs; ++p) {
-        violations += sys.proc(p).stats().violations;
-        commits += sys.proc(p).stats().txnsCommitted;
-    }
     std::printf("transfers committed: %llu, conflicts retried: %llu "
                 "(livelock-free, no contention manager)\n",
-                (unsigned long long)commits,
-                (unsigned long long)violations);
+                (unsigned long long)res.committedTxns,
+                (unsigned long long)res.violations);
 
     // TAPE-style conflict profiling: which accounts cause the retries?
     auto hotspots = conflictHotspots(sys, 5);
@@ -125,8 +120,7 @@ main()
                     idx < kHotAccounts ? "  <- hot account" : "");
     }
 
-    auto check = sys.checker().verify();
     std::printf("serializability check: %s\n",
-                check.ok ? "PASS" : check.error.c_str());
-    return (check.ok && total == expected) ? 0 : 1;
+                res.serial.ok ? "PASS" : res.serial.error.c_str());
+    return (res.serial.ok && total == expected) ? 0 : 1;
 }

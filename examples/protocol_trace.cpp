@@ -60,7 +60,7 @@ main(int argc, char **argv)
 
     SystemConfig cfg;
     cfg.numProcs = 2;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
     cfg.homePolicy = HomePolicy::Interleave; // deterministic homes
     System sys(cfg);
 
@@ -85,7 +85,7 @@ main(int argc, char **argv)
         std::puts("running the Figure 2 scenario "
                   "(see stderr for the message trace)...");
     }
-    auto res = sys.run();
+    const RunResult res = sys.run();
 
     std::printf("\ncompleted in %llu cycles\n",
                 (unsigned long long)res.cycles);
@@ -137,8 +137,7 @@ main(int argc, char **argv)
                     stats_json_path.c_str());
     }
 
-    auto check = sys.checker().verify();
     std::printf("serializability: %s\n",
-                check.ok ? "PASS" : check.error.c_str());
-    return check.ok ? 0 : 1;
+                res.serial.ok ? "PASS" : res.serial.error.c_str());
+    return res.serial.ok ? 0 : 1;
 }

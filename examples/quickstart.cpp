@@ -61,7 +61,7 @@ main()
     //    memory, directory per node, first-touch page placement).
     SystemConfig cfg;
     cfg.numProcs = kProcs;
-    cfg.enableChecker = true; // verify serializability afterwards
+    cfg.check.serial = true; // verify serializability afterwards
 
     System sys(cfg);
 
@@ -73,8 +73,9 @@ main()
     for (NodeId p = 0; p < kProcs; ++p)
         sys.setSource(p, &workers[p]);
 
-    // 3. Run to completion.
-    auto res = sys.run();
+    // 3. Run to completion. The RunResult carries the cycle count,
+    //    the execution-time breakdown, and the checker verdict.
+    const RunResult res = sys.run();
     std::printf("completed: %s in %llu cycles (%llu events)\n",
                 res.completed ? "yes" : "NO",
                 (unsigned long long)res.cycles,
@@ -93,18 +94,13 @@ main()
                 (unsigned long long)total, kProcs * kItemsPerProc);
 
     // 5. Execution-time breakdown and protocol health.
-    auto bd = sys.breakdown();
     std::puts(breakdownHeader().c_str());
-    std::puts(breakdownRow("histogram", bd).c_str());
+    std::puts(breakdownRow("histogram", res.breakdown).c_str());
 
-    std::uint64_t violations = 0;
-    for (NodeId p = 0; p < kProcs; ++p)
-        violations += sys.proc(p).stats().violations;
     std::printf("violations: %llu (conflicting bin updates retried)\n",
-                (unsigned long long)violations);
+                (unsigned long long)res.violations);
 
-    auto check = sys.checker().verify();
     std::printf("serializability check: %s\n",
-                check.ok ? "PASS" : check.error.c_str());
-    return check.ok && total == kProcs * kItemsPerProc ? 0 : 1;
+                res.serial.ok ? "PASS" : res.serial.error.c_str());
+    return res.serial.ok && total == kProcs * kItemsPerProc ? 0 : 1;
 }

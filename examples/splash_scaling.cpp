@@ -41,7 +41,7 @@ main(int argc, char **argv)
         cfg.numProcs = p;
         System sys(cfg);
         auto sources = setupApp(sys, app, /*seed=*/1);
-        auto res = sys.run();
+        const RunResult res = sys.run();
         if (!res.completed) {
             std::printf("%5u DID NOT COMPLETE\n", p);
             continue;
@@ -51,7 +51,7 @@ main(int argc, char **argv)
         std::printf("%5u %12llu %8.1fx | %s\n", p,
                     (unsigned long long)res.cycles,
                     t1 / static_cast<double>(res.cycles),
-                    breakdownRow(app.name, sys.breakdown()).c_str());
+                    breakdownRow(app.name, res.breakdown).c_str());
     }
 
     std::puts("\nTable 3-style characterization at the largest size:");

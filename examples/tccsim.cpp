@@ -6,24 +6,28 @@
  * when exploring a configuration without writing code.
  *
  * Usage:
- *   tccsim [options]
+ *   tccsim [options]              (--flag=V and --flag V both work)
  *     --app NAME        application profile (default barnes; "list"
  *                       prints the available names)
  *     --procs N         processors/nodes (default 16)
+ *     --network M       mesh | ideal | chaos:<preset>  (default mesh;
+ *                       "chaos:list" prints the preset names)
+ *     --chaos PRESET    shorthand for --network=chaos:<preset>
  *     --hop N           mesh cycles per hop (default 3)
  *     --line-gran       line-granularity conflict detection
  *     --interleave      page-interleaved homes (default first-touch)
- *     --ideal-net       fixed-latency network instead of the mesh
  *     --jitter N        random reorder jitter (unordered network)
  *     --aging N         violations before TID aging (0 = off)
- *     --seed N          workload seed (default 1)
- *     --check           enable the serializability checker
+ *     --seed N          workload + chaos seed (default 1)
+ *     --check LIST      comma list of checkers: serial, invariants
+ *                       (bare --check arms the serial checker)
  *     --trace           dump the full protocol trace to stderr
  *     --trace-out FILE  record the structured protocol trace and write
  *                       it as Chrome/Perfetto trace JSON to FILE (open
  *                       in ui.perfetto.dev or chrome://tracing)
  *     --stats FILE      write a full gem5-style stats dump to FILE
- *     --stats-json FILE write the stats tree as JSON to FILE
+ *     --stats-json FILE write the stats tree as JSON to FILE (includes
+ *                       the resolved configuration)
  */
 
 #include <cstdio>
@@ -47,13 +51,69 @@ namespace {
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--app NAME] [--procs N] [--hop N] "
-                 "[--line-gran] [--interleave] [--ideal-net] "
-                 "[--jitter N] [--aging N] [--seed N] [--check] "
-                 "[--trace] [--trace-out FILE] [--stats FILE] "
+                 "usage: %s [--app NAME] [--procs N] "
+                 "[--network mesh|ideal|chaos:<preset>] "
+                 "[--chaos PRESET] [--hop N] [--line-gran] "
+                 "[--interleave] [--jitter N] [--aging N] [--seed N] "
+                 "[--check serial,invariants] [--trace] "
+                 "[--trace-out FILE] [--stats FILE] "
                  "[--stats-json FILE]\n",
                  argv0);
     std::exit(1);
+}
+
+/** Apply one --network value; exits on an unknown model/preset. */
+void
+parseNetwork(const std::string &val, NetworkConfig &net,
+             const char *argv0)
+{
+    if (val == "mesh") {
+        net.model = NetworkConfig::Model::Mesh;
+    } else if (val == "ideal") {
+        net.model = NetworkConfig::Model::Ideal;
+    } else if (val.rfind("chaos:", 0) == 0) {
+        const std::string preset = val.substr(6);
+        if (preset == "list") {
+            for (const auto &name : chaosPresetNames())
+                std::puts(name.c_str());
+            std::exit(0);
+        }
+        net.model = NetworkConfig::Model::Chaos;
+        net.chaos = chaosPreset(preset);
+    } else if (val == "chaos") {
+        net.model = NetworkConfig::Model::Chaos;
+        net.chaos = chaosPreset("heavy");
+    } else {
+        std::fprintf(stderr, "%s: unknown network '%s'\n", argv0,
+                     val.c_str());
+        std::exit(1);
+    }
+}
+
+/** Apply one --check list ("serial,invariants"); exits on junk. */
+void
+parseCheck(const std::string &val, CheckConfig &check,
+           const char *argv0)
+{
+    std::size_t pos = 0;
+    while (pos <= val.size()) {
+        const std::size_t comma = val.find(',', pos);
+        const std::string item =
+            val.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (item == "serial") {
+            check.serial = true;
+        } else if (item == "invariants") {
+            check.invariants = true;
+        } else if (!item.empty()) {
+            std::fprintf(stderr, "%s: unknown checker '%s'\n", argv0,
+                         item.c_str());
+            std::exit(1);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
 }
 
 } // namespace
@@ -71,8 +131,19 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
+        std::string arg = argv[i];
+        // --flag=VALUE and --flag VALUE are both accepted.
+        std::string inline_val;
+        bool has_inline = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos) {
+            inline_val = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -81,26 +152,37 @@ main(int argc, char **argv)
             app_name = next();
         } else if (arg == "--procs") {
             cfg.numProcs =
-                static_cast<std::uint32_t>(std::atoi(next()));
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (arg == "--network") {
+            parseNetwork(next(), cfg.network, argv[0]);
+        } else if (arg == "--chaos") {
+            parseNetwork("chaos:" + next(), cfg.network, argv[0]);
         } else if (arg == "--hop") {
-            cfg.mesh.hopLatency =
-                static_cast<Tick>(std::atoi(next()));
+            cfg.network.mesh.hopLatency =
+                static_cast<Tick>(std::atoi(next().c_str()));
         } else if (arg == "--line-gran") {
             cfg.cache.granularity = Granularity::Line;
         } else if (arg == "--interleave") {
             cfg.homePolicy = HomePolicy::Interleave;
         } else if (arg == "--ideal-net") {
-            cfg.idealNetwork = true;
+            // Legacy spelling of --network=ideal.
+            cfg.network.model = NetworkConfig::Model::Ideal;
         } else if (arg == "--jitter") {
-            cfg.mesh.reorderJitter =
-                static_cast<Tick>(std::atoi(next()));
+            cfg.network.mesh.reorderJitter =
+                static_cast<Tick>(std::atoi(next().c_str()));
         } else if (arg == "--aging") {
             cfg.processor.agingThreshold =
-                static_cast<std::uint32_t>(std::atoi(next()));
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
         } else if (arg == "--check") {
-            cfg.enableChecker = true;
+            // Bare --check arms the serial checker (legacy); the
+            // value form picks the set: --check=serial,invariants.
+            if (has_inline)
+                parseCheck(inline_val, cfg.check, argv[0]);
+            else
+                cfg.check.serial = true;
         } else if (arg == "--trace") {
             trace_text = true;
         } else if (arg == "--trace-out") {
@@ -113,6 +195,9 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    // One seed drives both the workload and the fault injection, so a
+    // chaos run is reproduced by its (preset, seed) pair alone.
+    cfg.network.chaos.seed = seed;
 
     if (trace_text || !trace_out_path.empty()) {
         Trace::enableAll(true);
@@ -122,7 +207,7 @@ main(int argc, char **argv)
     if (!trace_out_path.empty()) {
         // A full application run overflows the default ring fast; give
         // the exporter more history to slice.
-        cfg.traceCapacity = std::size_t{1} << 18;
+        cfg.trace.capacity = std::size_t{1} << 18;
     }
 
     if (app_name == "list") {
@@ -132,20 +217,39 @@ main(int argc, char **argv)
     }
 
     const AppProfile &app = appProfile(app_name);
-    std::printf("tccsim: %s on %u processors (hop=%llu, %s, %s%s)\n",
+    std::string net_desc;
+    switch (cfg.network.model) {
+      case NetworkConfig::Model::Mesh:
+        net_desc = "mesh";
+        break;
+      case NetworkConfig::Model::Ideal:
+        net_desc = "ideal network";
+        break;
+      case NetworkConfig::Model::Chaos:
+        net_desc = std::string("chaos over ") +
+                   (cfg.network.chaos.overIdeal ? "ideal" : "mesh") +
+                   ", seed " + std::to_string(cfg.network.chaos.seed);
+        break;
+    }
+    std::printf("tccsim: %s on %u processors (hop=%llu, %s, %s, %s)\n",
                 app.name.c_str(), cfg.numProcs,
-                (unsigned long long)cfg.mesh.hopLatency,
+                (unsigned long long)cfg.network.mesh.hopLatency,
                 cfg.cache.granularity == Granularity::Word
                     ? "word-granularity"
                     : "line-granularity",
                 cfg.homePolicy == HomePolicy::FirstTouch
                     ? "first-touch"
                     : "interleaved",
-                cfg.idealNetwork ? ", ideal network" : "");
+                net_desc.c_str());
 
     System sys(cfg);
     auto sources = setupApp(sys, app, seed);
-    auto res = sys.run();
+    const RunResult res = sys.run();
+    if (res.invariants.checked && !res.invariants.ok) {
+        std::printf("INVARIANT VIOLATION\n%s\n",
+                    res.invariants.error.c_str());
+        return 1;
+    }
     if (!res.completed) {
         std::puts("DID NOT COMPLETE (livelock or lost message?)");
         for (NodeId p = 0; p < cfg.numProcs; ++p)
@@ -160,7 +264,7 @@ main(int argc, char **argv)
 
     std::puts("\n-- execution time breakdown --");
     std::puts(breakdownHeader().c_str());
-    std::puts(breakdownRow(app.name, sys.breakdown()).c_str());
+    std::puts(breakdownRow(app.name, res.breakdown).c_str());
 
     std::puts("\n-- transaction characteristics (Table 3 style) --");
     std::puts(table3Header().c_str());
@@ -170,18 +274,23 @@ main(int argc, char **argv)
     std::puts(trafficHeader().c_str());
     std::puts(trafficRowText(trafficPerInstr(sys, app.name)).c_str());
 
-    std::uint64_t commits = 0, violations = 0, overflows = 0;
-    for (NodeId p = 0; p < cfg.numProcs; ++p) {
-        commits += sys.proc(p).stats().txnsCommitted;
-        violations += sys.proc(p).stats().violations;
-        overflows += sys.proc(p).stats().overflows;
-    }
     std::printf("\ncommits=%llu violations=%llu overflows=%llu "
                 "quiesced=%s\n",
-                (unsigned long long)commits,
-                (unsigned long long)violations,
-                (unsigned long long)overflows,
-                sys.protocolQuiesced() ? "yes" : "NO");
+                (unsigned long long)res.committedTxns,
+                (unsigned long long)res.violations,
+                (unsigned long long)res.overflows,
+                res.quiesced ? "yes" : "NO");
+
+    if (const auto *chaos =
+            dynamic_cast<const ChaosNetwork *>(&sys.network())) {
+        const ChaosNetwork::ChaosStats &cs = chaos->chaosStats();
+        std::printf("\nchaos: %llu messages, %llu duplicated, "
+                    "%llu held for reorder, max extra delay %llu\n",
+                    (unsigned long long)cs.messages,
+                    (unsigned long long)cs.duplicates,
+                    (unsigned long long)cs.reordersHeld,
+                    (unsigned long long)cs.maxExtraDelay);
+    }
 
     auto hotspots = conflictHotspots(sys, 5);
     if (!hotspots.empty()) {
@@ -231,12 +340,15 @@ main(int argc, char **argv)
                     (unsigned long long)sys.traceRecorder().dropped());
     }
 
-    if (cfg.enableChecker) {
-        auto check = sys.checker().verify();
+    if (res.serial.checked) {
         std::printf("\nserializability: %s\n",
-                    check.ok ? "PASS" : check.error.c_str());
-        if (!check.ok)
-            return 1;
+                    res.serial.ok ? "PASS" : res.serial.error.c_str());
     }
-    return 0;
+    if (res.invariants.checked) {
+        std::printf("protocol invariants: %s (%llu checks)\n",
+                    res.invariants.ok ? "PASS"
+                                      : res.invariants.error.c_str(),
+                    (unsigned long long)res.invariants.checks);
+    }
+    return res.checksPassed() ? 0 : 1;
 }

@@ -45,7 +45,7 @@ main()
 {
     SystemConfig cfg;
     cfg.numProcs = kProcs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
     System sys(cfg);
 
     std::vector<TxProgramSource> workers;
@@ -69,7 +69,7 @@ main()
         sys.setSource(p, &workers[p]);
     }
 
-    auto res = sys.run();
+    const RunResult res = sys.run();
     std::printf("completed: %s in %llu cycles\n",
                 res.completed ? "yes" : "NO",
                 (unsigned long long)res.cycles);
@@ -92,8 +92,7 @@ main()
                 (unsigned long long)violations,
                 (unsigned long long)regens);
 
-    auto check = sys.checker().verify();
     std::printf("serializability check: %s\n",
-                check.ok ? "PASS" : check.error.c_str());
-    return (check.ok && ok == kTasks) ? 0 : 1;
+                res.serial.ok ? "PASS" : res.serial.error.c_str());
+    return (res.serial.ok && ok == kTasks) ? 0 : 1;
 }

@@ -111,6 +111,16 @@ class JsonWriter
         needComma = true;
     }
 
+    /** String values are known identifiers; no escaping needed. */
+    void
+    kvStr(const char *key, const char *v)
+    {
+        sep();
+        tag(key);
+        os << "\"" << v << "\"";
+        needComma = true;
+    }
+
   private:
     void
     sep()
@@ -180,7 +190,7 @@ dumpStats(const System &sys, std::ostream &os)
     os << "---------- begin tcc stats ----------\n";
 
     // --- system-level ------------------------------------------------
-    const Breakdown bd = sys.breakdown();
+    const Breakdown bd = sys.computeBreakdown();
     line(os, "system.procs", sys.numProcs());
     line(os, "system.committed_instructions",
          sys.committedInstructions());
@@ -282,7 +292,48 @@ dumpStatsJson(const System &sys, std::ostream &os)
     JsonWriter j(os);
     j.beginObj();
 
-    const Breakdown bd = sys.breakdown();
+    // --- resolved configuration --------------------------------------
+    {
+        const SystemConfig &cfg = sys.cfg();
+        j.beginObj("config");
+        j.kv("procs", static_cast<std::uint64_t>(cfg.numProcs));
+        j.beginObj("network");
+        const char *model =
+            cfg.network.model == NetworkConfig::Model::Mesh ? "mesh"
+            : cfg.network.model == NetworkConfig::Model::Ideal
+                ? "ideal"
+                : "chaos";
+        j.kvStr("model", model);
+        if (cfg.network.model == NetworkConfig::Model::Chaos) {
+            const ChaosConfig &c = cfg.network.chaos;
+            j.kvStr("base", c.overIdeal ? "ideal" : "mesh");
+            j.kv("seed", c.seed);
+            j.kv("jitter", c.jitter);
+            j.kv("reorder_prob", c.reorderProb);
+            j.kv("reorder_window", c.reorderWindow);
+            j.kv("duplicate_prob", c.duplicateProb);
+            j.kv("duplicate_lag", c.duplicateLag);
+        }
+        if (cfg.network.model == NetworkConfig::Model::Ideal ||
+            (cfg.network.model == NetworkConfig::Model::Chaos &&
+             cfg.network.chaos.overIdeal)) {
+            j.kv("ideal_latency", cfg.network.idealLatency);
+        } else {
+            j.kv("hop_latency", cfg.network.mesh.hopLatency);
+            j.kv("link_bytes_per_cycle",
+                 static_cast<std::uint64_t>(
+                     cfg.network.mesh.linkBytesPerCycle));
+        }
+        j.endObj();
+        j.beginObj("check");
+        j.kvBool("serial", cfg.check.serial);
+        j.kvBool("invariants", cfg.check.invariants);
+        j.endObj();
+        j.kvBool("write_through_commit", cfg.writeThroughCommit);
+        j.endObj();
+    }
+
+    const Breakdown bd = sys.computeBreakdown();
     j.beginObj("system");
     j.kv("procs", static_cast<std::uint64_t>(sys.numProcs()));
     j.kv("committed_instructions", sys.committedInstructions());

@@ -6,24 +6,102 @@
 
 namespace tcc {
 
+std::string
+SystemConfig::validate() const
+{
+    if (numProcs == 0)
+        return "a system needs at least one processor";
+    const bool uses_mesh =
+        network.model == NetworkConfig::Model::Mesh ||
+        (network.model == NetworkConfig::Model::Chaos &&
+         !network.chaos.overIdeal);
+    if (uses_mesh) {
+        if (network.mesh.linkBytesPerCycle == 0)
+            return "mesh linkBytesPerCycle must be nonzero";
+        // The mesh routes around unpopulated grid slots, so ragged
+        // node counts work for plain runs; chaos sweeps compare
+        // against the paper's topology and insist on full grids.
+        if (network.model == NetworkConfig::Model::Chaos &&
+            (numProcs & (numProcs - 1)) != 0)
+            return "chaos over a mesh requires a power-of-two "
+                   "processor count (ragged grids skew the paper's "
+                   "topology); use chaos over the ideal network for "
+                   "odd sizes";
+    }
+    const bool uses_ideal =
+        network.model == NetworkConfig::Model::Ideal ||
+        (network.model == NetworkConfig::Model::Chaos &&
+         network.chaos.overIdeal);
+    if (uses_ideal && network.model == NetworkConfig::Model::Chaos &&
+        network.idealLatency == 0) {
+        return "chaos over an ideal base needs idealLatency >= 1: "
+               "zero-latency delivery leaves no window for jitter or "
+               "reordering to act in";
+    }
+    if (network.model == NetworkConfig::Model::Chaos) {
+        const ChaosConfig &c = network.chaos;
+        if (c.reorderProb < 0.0 || c.reorderProb > 1.0 ||
+            c.duplicateProb < 0.0 || c.duplicateProb > 1.0)
+            return "chaos probabilities must be within [0, 1]";
+        if (c.reorderProb > 0.0 && c.reorderWindow == 0)
+            return "chaos reorderProb > 0 needs a nonzero "
+                   "reorderWindow";
+        if (c.duplicateProb > 0.0 && c.duplicateLag == 0)
+            return "chaos duplicateProb > 0 needs a nonzero "
+                   "duplicateLag (a zero-lag duplicate is "
+                   "indistinguishable from the original)";
+    }
+    if (check.invariants && numProcs > 4096)
+        return "invariant checker supports at most 4096 nodes";
+    return {};
+}
+
+static std::unique_ptr<Network>
+buildNetwork(const SystemConfig &cfg, EventQueue &eventq, Arena *arena)
+{
+    const NetworkConfig &nc = cfg.network;
+    switch (nc.model) {
+      case NetworkConfig::Model::Ideal:
+        return std::make_unique<IdealNetwork>(
+            eventq, cfg.numProcs, nc.idealLatency, arena);
+      case NetworkConfig::Model::Mesh:
+        return std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
+                                             nc.mesh, arena);
+      case NetworkConfig::Model::Chaos: {
+        std::unique_ptr<Network> base;
+        if (nc.chaos.overIdeal) {
+            base = std::make_unique<IdealNetwork>(
+                eventq, cfg.numProcs, nc.idealLatency, arena);
+        } else {
+            base = std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
+                                                 nc.mesh, arena);
+        }
+        return std::make_unique<ChaosNetwork>(
+            eventq, cfg.numProcs, std::move(base), nc.chaos, arena);
+      }
+    }
+    panic("unknown network model");
+}
+
 System::System(const SystemConfig &cfg)
     : config(cfg), eventq(&arena),
-      tracer(eventq, &arena, cfg.traceCapacity),
+      tracer(eventq, &arena, cfg.trace.capacity),
       homes(cfg.numProcs, cfg.homePolicy, cfg.pageBytes, &arena),
       store(&arena)
 {
-    if (cfg.numProcs == 0)
-        fatal("a system needs at least one processor");
+    if (const std::string err = cfg.validate(); !err.empty())
+        fatal("invalid SystemConfig: %s", err.c_str());
 
-    if (cfg.idealNetwork) {
-        net = std::make_unique<IdealNetwork>(eventq, cfg.numProcs,
-                                             cfg.idealLatency, &arena);
-    } else {
-        net = std::make_unique<MeshNetwork>(eventq, cfg.numProcs,
-                                            cfg.mesh, &arena);
-    }
+    net = buildNetwork(cfg, eventq, &arena);
 
+    // Only the outermost network traces: a chaos wrapper's base would
+    // otherwise emit every NetDeliver twice.
     net->setTraceRecorder(&tracer);
+
+    if (cfg.check.invariants) {
+        invariants = std::make_unique<InvariantChecker>(
+            cfg.numProcs, &tracer, cfg.check.invariantHistory);
+    }
 
     tidVendor = std::make_unique<TidVendor>(0, eventq, *net,
                                             cfg.tidVendorLatency);
@@ -41,6 +119,8 @@ System::System(const SystemConfig &cfg)
             proc_cfg, /*vendor_node=*/0, &arena));
         dirs.back()->setTraceRecorder(&tracer);
         procs.back()->setTraceRecorder(&tracer);
+        dirs.back()->setInvariantChecker(invariants.get());
+        procs.back()->setInvariantChecker(invariants.get());
         procs.back()->setBarrier(
             [this](NodeId node, std::function<void()> resume) {
                 barrierArrive(node, std::move(resume));
@@ -49,7 +129,7 @@ System::System(const SystemConfig &cfg)
             ++doneProcs;
             checkBarrierRelease();
         });
-        if (cfg.enableChecker) {
+        if (cfg.check.serial) {
             procs.back()->setCommitHook(
                 [this](Tid tid, NodeId proc, const auto &reads,
                        const auto &writes) {
@@ -114,7 +194,7 @@ void
 System::initializeWord(Addr addr, std::uint64_t value)
 {
     store.write(addr, value);
-    if (config.enableChecker)
+    if (config.check.serial)
         serialChecker.setInitial(GlobalStore::wordAlign(addr), value);
 }
 
@@ -138,7 +218,7 @@ System::checkBarrierRelease()
     }
 }
 
-System::RunResult
+RunResult
 System::run(Tick max_ticks)
 {
     for (auto &p : procs)
@@ -148,7 +228,15 @@ System::run(Tick max_ticks)
     while (!eventq.empty() && eventq.now() <= max_ticks) {
         eventq.step();
         ++res.events;
+        // An invariant failure halts the run at the next event
+        // boundary: the protocol state is wrong from here on, and
+        // running further would only bury the first diagnostic under
+        // follow-on carnage (or trip a panic in the model itself).
+        if (invariants && invariants->failed())
+            break;
     }
+    const bool halted_on_failure = invariants && invariants->failed();
+    const bool hit_tick_limit = !eventq.empty() && !halted_on_failure;
 
     bool all_done = true;
     Tick end = 0;
@@ -167,11 +255,58 @@ System::run(Tick max_ticks)
             p->mutableStats().idleCycles += end - p->doneTick();
         }
     }
+
+    res.breakdown = computeBreakdown();
+    res.procs.reserve(procs.size());
+    for (const auto &p : procs) {
+        const auto &s = p->stats();
+        ProcRunStats ps;
+        ps.txnsCommitted = s.txnsCommitted;
+        ps.violations = s.violations;
+        ps.overflows = s.overflows;
+        ps.soloCommits = s.soloCommits;
+        ps.committedInstructions = s.committedInstructions;
+        res.committedTxns += ps.txnsCommitted;
+        res.violations += ps.violations;
+        res.overflows += ps.overflows;
+        res.committedInstructions += ps.committedInstructions;
+        res.procs.push_back(ps);
+    }
+    res.dirs.reserve(dirs.size());
+    for (const auto &d : dirs) {
+        const auto &s = d->stats();
+        DirRunStats ds;
+        ds.nstid = d->nstid();
+        ds.commitsServed = s.commitsServed;
+        ds.skipsReceived = s.skipsReceived;
+        ds.abortsServed = s.abortsServed;
+        ds.invalidationsSent = s.invalidationsSent;
+        ds.writeBacksDropped = s.writeBacksDropped;
+        res.dirs.push_back(ds);
+    }
+    res.quiesced = protocolQuiesced();
+
+    if (config.check.serial) {
+        res.serial.checked = true;
+        const SerialChecker::Result v = serialChecker.verify();
+        res.serial.ok = v.ok;
+        res.serial.error = v.error;
+        res.serial.checks = v.txnsChecked;
+    }
+    if (invariants) {
+        invariants->finalize(tidVendor->issued(), all_done,
+                             hit_tick_limit);
+        res.invariants.checked = true;
+        const InvariantChecker::Result &v = invariants->result();
+        res.invariants.ok = v.ok;
+        res.invariants.error = v.error;
+        res.invariants.checks = v.checks;
+    }
     return res;
 }
 
 Breakdown
-System::breakdown() const
+System::computeBreakdown() const
 {
     Breakdown bd;
     for (const auto &p : procs) {

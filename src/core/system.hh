@@ -11,10 +11,12 @@
  *
  *   tcc::SystemConfig cfg;
  *   cfg.numProcs = 32;
+ *   cfg.check.serial = true;       // end-of-run serializability oracle
  *   tcc::System sys(cfg);
  *   sys.setSource(p, &mySource);   // one TransactionSource per proc
- *   auto result = sys.run();
- *   auto bd = sys.breakdown();     // execution-time buckets
+ *   tcc::RunResult res = sys.run();
+ *   // res carries cycles, the execution-time breakdown, per-proc and
+ *   // per-directory stats, and both checker verdicts.
  */
 
 #ifndef TCC_CORE_SYSTEM_HH
@@ -26,12 +28,14 @@
 #include <vector>
 
 #include "cache/spec_cache.hh"
+#include "check/invariant_checker.hh"
 #include "check/serial_checker.hh"
 #include "common/arena.hh"
 #include "common/types.hh"
 #include "directory/directory.hh"
 #include "mem/global_store.hh"
 #include "mem/home_map.hh"
+#include "noc/chaos_network.hh"
 #include "noc/network.hh"
 #include "obs/trace_recorder.hh"
 #include "proc/processor.hh"
@@ -40,28 +44,68 @@
 
 namespace tcc {
 
+/** Interconnect selection and per-model parameters. */
+struct NetworkConfig {
+    enum class Model : std::uint8_t {
+        Mesh,  ///< 2D mesh, XY routing (the paper's interconnect)
+        Ideal, ///< fixed-latency, infinite bandwidth (unit tests)
+        Chaos, ///< adversarial wrapper over Mesh or Ideal (see chaos)
+    };
+    Model model = Model::Mesh;
+    /** Mesh parameters (Model::Mesh, and Chaos over a mesh base). */
+    MeshConfig mesh;
+    /** Fixed latency (Model::Ideal, and Chaos over an ideal base). */
+    Tick idealLatency = 1;
+    /** Fault-injection parameters (Model::Chaos). chaos.overIdeal
+     *  picks the base network the faults are layered on. */
+    ChaosConfig chaos;
+};
+
+/** Correctness-checker selection. */
+struct CheckConfig {
+    /** Record commit logs and verify serializability after the run
+     *  (RunResult::serial). */
+    bool serial = false;
+    /** Online protocol-invariant checker: asserts NSTID monotonicity,
+     *  skip-or-service completeness, commit atomicity, and TID
+     *  retention while the run executes (RunResult::invariants). A
+     *  failure halts the run at the next event boundary. */
+    bool invariants = false;
+    /** Trace events quoted in an invariant-failure report. */
+    std::size_t invariantHistory = 8;
+};
+
+/** Protocol event-ring sizing. */
+struct TraceConfig {
+    /** Ring size in events (storage is claimed lazily, so runs with
+     *  tracing off pay nothing). */
+    std::size_t capacity = TraceRecorder::kDefaultCapacity;
+};
+
 /** Full system configuration (defaults follow the paper's Table 2). */
 struct SystemConfig {
     std::uint32_t numProcs = 8;
     CacheConfig cache;
     DirectoryConfig directory;
-    MeshConfig mesh;
     ProcessorConfig processor;
     HomePolicy homePolicy = HomePolicy::FirstTouch;
     std::uint32_t pageBytes = 4096;
-    /** Use a fixed-latency network instead of the mesh (unit tests). */
-    bool idealNetwork = false;
-    Tick idealLatency = 1;
+    /** Interconnect model and parameters. */
+    NetworkConfig network;
     /** TID vendor service latency. */
     Tick tidVendorLatency = 5;
-    /** Record commit logs and enable serializability verification. */
-    bool enableChecker = false;
     /** Ablation: write-through commit (data with marks) instead of the
      *  paper's write-back commit. */
     bool writeThroughCommit = false;
-    /** Protocol trace ring size in events (storage is claimed lazily,
-     *  so runs with tracing off pay nothing). */
-    std::size_t traceCapacity = TraceRecorder::kDefaultCapacity;
+    /** Correctness checkers to arm for the run. */
+    CheckConfig check;
+    /** Protocol trace ring. */
+    TraceConfig trace;
+
+    /** Sanity-check the configuration. Returns an empty string when
+     *  the config is usable, else a description of the first problem.
+     *  The System constructor calls this and fatal()s on failure. */
+    std::string validate() const;
 };
 
 /** Aggregated execution-time breakdown across all processors. */
@@ -88,6 +132,71 @@ struct Breakdown {
     }
 };
 
+/** Verdict of one correctness checker for a run. */
+struct CheckVerdict {
+    /** Whether the checker was armed for this run. */
+    bool checked = false;
+    /** Clean (vacuously true when !checked). */
+    bool ok = true;
+    /** First failure's diagnostic (empty when ok). */
+    std::string error;
+    /** Work done: transactions replayed (serial) or hook invocations
+     *  (invariants) - sanity that the checker actually ran. */
+    std::uint64_t checks = 0;
+};
+
+/** Per-processor slice of a RunResult. */
+struct ProcRunStats {
+    std::uint64_t txnsCommitted = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t soloCommits = 0;
+    std::uint64_t committedInstructions = 0;
+};
+
+/** Per-directory slice of a RunResult. */
+struct DirRunStats {
+    Tid nstid = 0;
+    std::uint64_t commitsServed = 0;
+    std::uint64_t skipsReceived = 0;
+    std::uint64_t abortsServed = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t writeBacksDropped = 0;
+};
+
+/**
+ * Everything a caller needs from one run, returned by System::run().
+ * Callers should consume this instead of poking component getters
+ * post-hoc; the System stays alive for deep inspection (distributions,
+ * trace ring, memory) when needed.
+ */
+struct RunResult {
+    Tick cycles = 0;        ///< completion time (last proc done)
+    bool completed = false; ///< all processors drained their sources
+    std::uint64_t events = 0;
+    /** Every directory retired every issued TID and holds no pending
+     *  state (end-of-run protocol invariant). */
+    bool quiesced = false;
+
+    /** Summed execution-time buckets (Figure 6/7). */
+    Breakdown breakdown;
+    std::uint64_t committedTxns = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t committedInstructions = 0;
+
+    std::vector<ProcRunStats> procs;
+    std::vector<DirRunStats> dirs;
+
+    /** Serializability oracle verdict (armed via check.serial). */
+    CheckVerdict serial;
+    /** Online invariant-checker verdict (armed via check.invariants). */
+    CheckVerdict invariants;
+
+    /** Both armed checkers came back clean. */
+    bool checksPassed() const { return serial.ok && invariants.ok; }
+};
+
 /** A complete Scalable TCC machine. */
 class System
 {
@@ -108,13 +217,14 @@ class System
      *  OS page placement a real first-touch run would produce). */
     void bindRegion(Addr base, std::uint64_t bytes, NodeId home);
 
-    struct RunResult {
-        Tick cycles = 0;       ///< completion time (last proc done)
-        bool completed = false;///< all processors drained their sources
-        std::uint64_t events = 0;
-    };
+    /** Legacy spelling: RunResult now lives at namespace scope. */
+    using RunResult = tcc::RunResult;
 
-    /** Run to completion (or @p max_ticks). */
+    /** Run to completion (or @p max_ticks) and report the outcome,
+     *  including any armed checker verdicts (CheckConfig). With the
+     *  invariant checker armed, a failure halts the run at the next
+     *  event boundary and the diagnostic lands in
+     *  RunResult::invariants.error. */
     RunResult run(Tick max_ticks = kTickMax);
 
     // --- component access -------------------------------------------
@@ -126,7 +236,14 @@ class System
     Network &network() { return *net; }
     GlobalStore &memory() { return store; }
     EventQueue &eventQueue() { return eventq; }
-    const SerialChecker &checker() const { return serialChecker; }
+    /** The serializability checker's commit log (structural access,
+     *  e.g. replayFinalState(); the verdict is in RunResult::serial). */
+    const SerialChecker &commitLog() const { return serialChecker; }
+    /** The online invariant checker, or null when not armed. */
+    const InvariantChecker *invariantChecker() const
+    {
+        return invariants.get();
+    }
     const TidVendor &vendor() const { return *tidVendor; }
     const SystemConfig &cfg() const { return config; }
     /** The protocol event ring (populated when Trace categories are
@@ -138,8 +255,19 @@ class System
     Arena::Stats arenaStats() const { return arena.stats(); }
 
     // --- aggregate reporting ------------------------------------------
-    /** Sum of per-processor breakdown buckets. */
-    Breakdown breakdown() const;
+    /** Sum of per-processor breakdown buckets. Prefer the copy in
+     *  RunResult::breakdown after run(). */
+    Breakdown computeBreakdown() const;
+
+    /** @deprecated Use RunResult::breakdown (or computeBreakdown()). */
+    [[deprecated("use RunResult::breakdown from System::run()")]]
+    Breakdown breakdown() const { return computeBreakdown(); }
+
+    /** @deprecated Use RunResult::serial for the verdict, or
+     *  commitLog() for structural access. */
+    [[deprecated("use RunResult::serial from System::run(), or "
+                 "commitLog() for the raw log")]]
+    const SerialChecker &checker() const { return serialChecker; }
 
     /** Total committed instructions (Figure 9 normalization). */
     std::uint64_t committedInstructions() const;
@@ -168,6 +296,8 @@ class System
     HomeMap homes;
     GlobalStore store;
     SerialChecker serialChecker;
+    /** Online protocol-invariant checker (armed via check.invariants). */
+    std::unique_ptr<InvariantChecker> invariants;
     std::unique_ptr<TidVendor> tidVendor;
     std::vector<std::unique_ptr<Directory>> dirs;
     std::vector<std::unique_ptr<TccProcessor>> procs;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/mutate.hh"
 #include "common/log.hh"
 
 namespace tcc {
@@ -146,16 +147,16 @@ Directory::handleLoad(const Message &msg)
         stalledLoads.push_back(msg);
         return;
     }
-    serveLoad(msg.src, msg.addr);
+    serveLoad(msg.src, msg.seq, msg.addr);
 }
 
 void
-Directory::serveLoad(NodeId requester, Addr lineAddr)
+Directory::serveLoad(NodeId requester, std::uint32_t seq, Addr lineAddr)
 {
     Entry &e = entry(lineAddr);
     if (e.owned && e.owner != requester) {
         // The only up-to-date copy is in the owner's cache.
-        e.pendingLoads.push_back(requester);
+        e.pendingLoads.push_back({requester, seq});
         if (!e.dataReqOutstanding && !e.awaitingWriteBack) {
             e.dataReqOutstanding = true;
             Message req;
@@ -170,11 +171,12 @@ Directory::serveLoad(NodeId requester, Addr lineAddr)
     // owns only partially (some words were invalidated by an unrelated
     // commit before this line was committed): serve from memory; the
     // owner's per-word valid bits merge the fill with its newer words.
-    replyFromMemory(requester, lineAddr);
+    replyFromMemory(requester, seq, lineAddr);
 }
 
 void
-Directory::replyFromMemory(NodeId requester, Addr lineAddr)
+Directory::replyFromMemory(NodeId requester, std::uint32_t seq,
+                           Addr lineAddr)
 {
     Entry &e = entry(lineAddr);
     const bool before = hasRemoteSharer(e);
@@ -186,12 +188,16 @@ Directory::replyFromMemory(NodeId requester, Addr lineAddr)
            (unsigned long long)lineAddr, requester);
 
     // Main-memory access latency before the data leaves the node. The
-    // reply is built inside the event so the capture stays inline.
-    eventq.schedule(config.memLatency, [this, requester, lineAddr]() {
+    // reply is built inside the event so the capture stays inline; it
+    // echoes the request's sequence tag so the requester can filter
+    // duplicated or stale replies on an adversarial network.
+    eventq.schedule(config.memLatency,
+                    [this, requester, seq, lineAddr]() {
         Message reply;
         reply.type = MsgType::LoadReply;
         reply.dst = requester;
         reply.addr = lineAddr;
+        reply.seq = seq;
         reply.src = nodeId;
         reply.bytes = sizeOf(MsgType::LoadReply);
         network.send(reply);
@@ -207,10 +213,10 @@ Directory::pumpPendingLoads(Addr lineAddr)
     if (e.owned) {
         // The owner's own loads are partial-line fills served from
         // memory (see serveLoad); everyone else needs the owner's data.
-        std::vector<NodeId> others;
-        for (NodeId r : e.pendingLoads) {
-            if (r == e.owner)
-                replyFromMemory(r, lineAddr);
+        std::vector<Entry::PendingLoad> others;
+        for (const auto &r : e.pendingLoads) {
+            if (r.node == e.owner)
+                replyFromMemory(r.node, r.seq, lineAddr);
             else
                 others.push_back(r);
         }
@@ -226,27 +232,31 @@ Directory::pumpPendingLoads(Addr lineAddr)
         }
         return;
     }
-    std::vector<NodeId> waiters;
+    std::vector<Entry::PendingLoad> waiters;
     waiters.swap(e.pendingLoads);
-    for (NodeId r : waiters) {
+    for (const auto &r : waiters) {
         ++dirStats.loadsForwarded;
-        replyFromMemory(r, lineAddr);
+        replyFromMemory(r.node, r.seq, lineAddr);
     }
 }
 
 void
 Directory::handleSkip(const Message &msg)
 {
+    if (mutate::is(mutate::Kind::DropSkip))
+        return; // deliberately lose the skip (checker-efficacy test)
     ++dirStats.skipsReceived;
     traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirSkip, nodeId,
               msg.tid, msg.src);
-    recordSkip(msg.tid);
+    recordSkip(msg.tid, InvariantChecker::Retire::Skip);
     advance();
 }
 
 void
-Directory::recordSkip(Tid t)
+Directory::recordSkip(Tid t, InvariantChecker::Retire how)
 {
+    if (invariants && !invariants->onRetire(nodeId, t, how))
+        return; // invalid retirement: recorded as an invariant failure
     if (t < nowServing)
         panic("dir %u: skip for already-retired TID %llu (NSTID %llu)",
               nodeId, (unsigned long long)t,
@@ -264,9 +274,16 @@ Directory::advance()
     // Consume the Skip Vector's leading run of retired TIDs in one
     // word-level pass (count-trailing-ones, no per-TID loop).
     const std::size_t moved = skipWindow.popLeadingRun();
+    const Tid previous = nowServing;
     nowServing += moved;
     if (moved == 0)
         return;
+    if (mutate::is(mutate::Kind::SkipVectorOverConsume))
+        ++nowServing; // swallow one extra, unretired TID
+    if (mutate::is(mutate::Kind::NstidRewind) && previous > 0)
+        nowServing = previous - 1; // step the NSTID backwards
+    if (invariants)
+        invariants->onNstidAdvance(nodeId, previous, nowServing);
     traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirNstidAdvance,
               nodeId, kInvalidTid, nowServing, moved);
 
@@ -377,6 +394,11 @@ Directory::handleMark(const Message &msg)
     e.sharers.set(msg.src);
     noteSharerChange(e, before);
 
+    if (mutate::is(mutate::Kind::CommitBeforeMarks) &&
+        !pending.commitSeen && !pending.invsSent) {
+        finishCommit(); // apply commit data before the Commit arrives
+        return;
+    }
     maybeFinishCommit();
 }
 
@@ -441,6 +463,11 @@ Directory::maybeFinishCommit()
 void
 Directory::finishCommit()
 {
+    if (invariants)
+        invariants->onCommitApply(nodeId, pending.tid,
+                                  pending.marksReceived,
+                                  pending.expectedMarks,
+                                  pending.commitSeen, pending.partial);
     pending.invsSent = true;
     for (Addr a : pending.markedLines) {
         Entry &e = entry(a);
@@ -515,7 +542,7 @@ Directory::retireCurrent()
         ack.tid = t;
         post(ack);
     } else {
-        recordSkip(t);
+        recordSkip(t, InvariantChecker::Retire::Commit);
         advance();
     }
     for (Addr a : lines) {
@@ -550,7 +577,7 @@ Directory::handleAbort(const Message &msg)
     }
     // Whether or not anything was marked, the aborting transaction will
     // never commit here under this TID: treat it as skipped.
-    recordSkip(msg.tid);
+    recordSkip(msg.tid, InvariantChecker::Retire::Abort);
     advance();
     for (Addr a : lines)
         pumpPendingLoads(a);

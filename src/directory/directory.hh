@@ -26,6 +26,7 @@
 #include <list>
 #include <vector>
 
+#include "check/invariant_checker.hh"
 #include "common/arena.hh"
 #include "common/flat_map.hh"
 #include "common/nodeset.hh"
@@ -114,6 +115,12 @@ class Directory
     /** Attach the System's protocol event ring (may be null). */
     void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
 
+    /** Attach the online protocol-invariant checker (may be null).
+     *  With a checker attached, invalid retirements are recorded as
+     *  invariant failures instead of panicking, so checker-efficacy
+     *  tests can assert on the diagnostic. */
+    void setInvariantChecker(InvariantChecker *c) { invariants = c; }
+
   private:
     using WordMaskT = std::uint64_t;
 
@@ -129,8 +136,14 @@ class Directory
         /** Write-backs that overtook their own commit on an unordered
          *  network; replayed once the commit is processed. */
         std::vector<Message> deferredWriteBacks;
-        /** Loads waiting for an owner flush / write-back. */
-        std::vector<NodeId> pendingLoads;
+        /** One load waiting for an owner flush / write-back; the seq
+         *  is echoed in the eventual LoadReply so the requester can
+         *  match it against its outstanding miss. */
+        struct PendingLoad {
+            NodeId node;
+            std::uint32_t seq;
+        };
+        std::vector<PendingLoad> pendingLoads;
         bool dataReqOutstanding = false;
         /** Set when the owner answered a DataReq with "already
          *  evicted"; its WriteBack is in flight. */
@@ -169,7 +182,7 @@ class Directory
     void handleInvAck(const Message &msg);
 
     /** Record TID @p t in the Skip Vector (t >= nowServing). */
-    void recordSkip(Tid t);
+    void recordSkip(Tid t, InvariantChecker::Retire how);
 
     /** Shift the Skip Vector past every retired TID and release any
      *  deferred probes / stalled loads that become serviceable. */
@@ -186,13 +199,14 @@ class Directory
     void retireCurrent();
 
     /** Serve a load from memory or by forwarding to the owner. */
-    void serveLoad(NodeId requester, Addr lineAddr);
+    void serveLoad(NodeId requester, std::uint32_t seq, Addr lineAddr);
 
     /** Re-try loads waiting on an owner flush / write-back. */
     void pumpPendingLoads(Addr lineAddr);
 
     /** Reply to a load from the home memory slice. */
-    void replyFromMemory(NodeId requester, Addr lineAddr);
+    void replyFromMemory(NodeId requester, std::uint32_t seq,
+                         Addr lineAddr);
 
     /** Send one protocol message (fills in src and size). */
     void post(Message msg);
@@ -246,6 +260,9 @@ class Directory
 
     /** Protocol event ring (owned by the System; may be null). */
     TraceRecorder *tracer = nullptr;
+
+    /** Online invariant checker (owned by the System; may be null). */
+    InvariantChecker *invariants = nullptr;
 };
 
 } // namespace tcc

@@ -116,6 +116,17 @@ struct Message {
     /** Commit: number of Mark messages the directory should have. */
     std::uint32_t numMarks = 0;
 
+    /**
+     * LoadReq / LoadReply: per-requester sequence number echoed by the
+     * directory in the reply. On a network that can duplicate or
+     * reorder replies, the miss handler matches replies against the
+     * outstanding request's sequence; without the tag, a duplicated
+     * reply from an earlier request could satisfy a *later* miss to
+     * the same line before the directory re-registers the requester as
+     * a sharer - a silently missed conflict window.
+     */
+    std::uint32_t seq = 0;
+
     /** Payload size in bytes (for traffic accounting), set by sender. */
     std::uint32_t bytes = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/mutate.hh"
 #include "common/log.hh"
 
 namespace tcc {
@@ -294,11 +295,13 @@ TccProcessor::startMiss(Addr addr)
     mshr.lineAddr = line;
     mshr.poisoned = false;
     mshr.gen = gen;
+    mshr.seq = ++loadSeq;
     missStart = eventq.now();
     Message req;
     req.type = MsgType::LoadReq;
     req.dst = homeOf(addr);
     req.addr = line;
+    req.seq = mshr.seq;
     post(req);
 }
 
@@ -306,24 +309,29 @@ void
 TccProcessor::onLoadReply(const Message &msg)
 {
     const bool relevant = mshr.active && mshr.lineAddr == msg.addr &&
-                          mshr.gen == gen;
+                          mshr.gen == gen && msg.seq == mshr.seq;
     if (!relevant) {
-        // Reply for a rolled-back attempt. It must be DROPPED, not
-        // filled: the violation that rolled us back also removed us
-        // from the directory's sharers list, so caching this data
-        // would let later loads hit locally while no invalidations are
-        // routed to us - a silently missed conflict. The retry's own
-        // LoadReq re-registers us as a sharer.
+        // Reply for a rolled-back attempt or a stale/duplicated reply
+        // (seq mismatch). It must be DROPPED, not filled: the
+        // violation that rolled us back also removed us from the
+        // directory's sharers list, so caching this data would let
+        // later loads hit locally while no invalidations are routed to
+        // us - a silently missed conflict. The retry's own LoadReq
+        // re-registers us as a sharer, carrying a fresh seq.
         return;
     }
     if (mshr.poisoned) {
         // An invalidation overtook this fill (Section 3.3 race): drop
-        // the data and retry the load, re-registering as a sharer.
+        // the data and retry the load, re-registering as a sharer. The
+        // retry carries a fresh seq so a duplicate of THIS reply
+        // cannot satisfy it before the directory re-registers us.
         mshr.poisoned = false;
+        mshr.seq = ++loadSeq;
         Message req;
         req.type = MsgType::LoadReq;
         req.dst = homeOf(msg.addr);
         req.addr = msg.addr;
+        req.seq = mshr.seq;
         post(req);
         return;
     }
@@ -809,7 +817,9 @@ TccProcessor::violate()
     if (source)
         source->transactionViolated();
 
-    if (phase == Phase::Commit && skipsSent) {
+    const Tid tid_before = tid;
+    const bool announced = phase == Phase::Commit && skipsSent;
+    if (announced) {
         // The TID was announced to the world; release it so every
         // directory can retire it, and take a fresh one on retry.
         for (NodeId d : wDirs) {
@@ -823,6 +833,10 @@ TccProcessor::violate()
     }
     // If a TID request is still outstanding, the eventual reply is
     // retained as an early TID for the retry (see onTidReply).
+    if (mutate::is(mutate::Kind::TidDropOnViolation) && !announced)
+        tid = kInvalidTid;
+    if (invariants)
+        invariants->onViolation(nodeId, tid_before, announced, tid);
 
     mshr = Mshr{};
     phase = Phase::Exec;

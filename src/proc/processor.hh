@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache/spec_cache.hh"
+#include "check/invariant_checker.hh"
 #include "common/arena.hh"
 #include "common/flat_map.hh"
 #include "common/nodeset.hh"
@@ -167,6 +168,9 @@ class TccProcessor
     /** Attach the System's protocol event ring (may be null). */
     void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
 
+    /** Attach the online protocol-invariant checker (may be null). */
+    void setInvariantChecker(InvariantChecker *c) { invariants = c; }
+
   private:
     enum class Phase { Idle, Exec, Commit, Done };
 
@@ -229,6 +233,8 @@ class TccProcessor
     std::function<void()> doneHook;
     /** Protocol event ring (owned by the System; may be null). */
     TraceRecorder *tracer = nullptr;
+    /** Online invariant checker (owned by the System; may be null). */
+    InvariantChecker *invariants = nullptr;
 
     // --- per-transaction state ---------------------------------------
     Phase phase = Phase::Idle;
@@ -282,9 +288,15 @@ class TccProcessor
         Addr lineAddr = 0;
         bool poisoned = false;
         std::uint64_t gen = 0;
+        /** Sequence tag of the outstanding LoadReq; replies carrying
+         *  any other tag (duplicates, reordered stale replies) are
+         *  dropped. */
+        std::uint32_t seq = 0;
     };
     Mshr mshr;
     Tick missStart = 0;
+    /** Monotonic LoadReq sequence counter (see Message::seq). */
+    std::uint32_t loadSeq = 0;
 
     // --- solo mode ------------------------------------------------------
     bool soloRequested = false;

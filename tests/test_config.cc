@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SystemConfig::validate() tests: every nonsense combination is
+ * rejected with a descriptive error before a System is built, and
+ * every supported configuration - including ragged mesh grids, which
+ * the router handles - passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+namespace tcc {
+namespace {
+
+TEST(ConfigValidate, DefaultsAreValid)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ZeroProcsRejected)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 0;
+    EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, MeshNeedsLinkBandwidth)
+{
+    SystemConfig cfg;
+    cfg.network.mesh.linkBytesPerCycle = 0;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.model = NetworkConfig::Model::Ideal;
+    EXPECT_EQ(cfg.validate(), "")
+        << "ideal network should not care about mesh knobs";
+}
+
+TEST(ConfigValidate, RaggedMeshAllowedForPlainRuns)
+{
+    // The mesh routes around unpopulated grid slots; in-tree protocol
+    // tests use 3-processor meshes.
+    SystemConfig cfg;
+    cfg.numProcs = 3;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ChaosOverRaggedMeshRejected)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 6;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.overIdeal = false;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.numProcs = 8;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.numProcs = 6;
+    cfg.network.chaos.overIdeal = true; // documented escape hatch
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ChaosOverZeroLatencyIdealRejected)
+{
+    SystemConfig cfg;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.overIdeal = true;
+    cfg.network.idealLatency = 0;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.idealLatency = 1;
+    EXPECT_EQ(cfg.validate(), "");
+    // A plain ideal network may still be zero-latency.
+    cfg.network.model = NetworkConfig::Model::Ideal;
+    cfg.network.idealLatency = 0;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ChaosProbabilitiesBounded)
+{
+    SystemConfig cfg;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.reorderProb = 1.5;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.chaos.reorderProb = 0.5;
+    cfg.network.chaos.duplicateProb = -0.1;
+    EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ReorderNeedsWindow)
+{
+    SystemConfig cfg;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.reorderProb = 0.2;
+    cfg.network.chaos.reorderWindow = 0;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.chaos.reorderWindow = 16;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, DuplicationNeedsLag)
+{
+    SystemConfig cfg;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.duplicateProb = 0.2;
+    cfg.network.chaos.duplicateLag = 0;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.chaos.duplicateLag = 4;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ErrorsAreDescriptive)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 0;
+    EXPECT_NE(cfg.validate().find("processor"), std::string::npos);
+    cfg.numProcs = 4;
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    cfg.network.chaos.overIdeal = true;
+    cfg.network.idealLatency = 0;
+    EXPECT_NE(cfg.validate().find("idealLatency"), std::string::npos);
+}
+
+} // namespace
+} // namespace tcc

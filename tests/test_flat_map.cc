@@ -203,7 +203,8 @@ TEST(FlatMapGolden, ScriptedConflictRunUnchanged)
 {
     SystemConfig cfg;
     cfg.numProcs = 4;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     System sys(cfg);
     std::vector<std::unique_ptr<ScriptedSource>> srcs;
     constexpr Addr kShared = 0x9000;
@@ -226,11 +227,12 @@ TEST(FlatMapGolden, ScriptedConflictRunUnchanged)
     }
     for (NodeId p = 0; p < cfg.numProcs; ++p)
         sys.setSource(p, srcs[p].get());
-    auto res = sys.run();
+    const RunResult res = sys.run();
 
     ASSERT_TRUE(res.completed);
-    EXPECT_TRUE(sys.checker().verify().ok);
-    EXPECT_TRUE(sys.protocolQuiesced());
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
+    EXPECT_TRUE(res.quiesced);
     EXPECT_EQ(sys.memory().read(kShared), 24u);
     expectFingerprint(fingerprint(sys, res),
                       GoldenFingerprint{5047, 2005, 28, 25, 1011,
@@ -260,7 +262,8 @@ TEST(FlatMapGolden, SoloModeRunUnchanged)
     // the canonical ascending-directory drain ordering in solo mode.
     SystemConfig cfg;
     cfg.numProcs = 4;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.cache.l1Bytes = 128;
     cfg.cache.l1Assoc = 2;
     cfg.cache.l2Bytes = 1024;
@@ -284,10 +287,11 @@ TEST(FlatMapGolden, SoloModeRunUnchanged)
     }
     for (NodeId p = 0; p < 4; ++p)
         sys.setSource(p, srcs[p].get());
-    auto res = sys.run(2'000'000'000ull);
+    const RunResult res = sys.run(2'000'000'000ull);
 
     ASSERT_TRUE(res.completed);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     expectFingerprint(fingerprint(sys, res),
                       GoldenFingerprint{17896, 4901, 16, 0, 2510,
                                         51056, 2618, 56, 224});

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Checker-efficacy tests: each TCC_MUTATE protocol mutation must be
+ * caught by the online invariant checker with a diagnostic naming the
+ * broken invariant and the offending TID/node. A checker that has
+ * never caught a bug proves nothing - these tests are the proof.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/invariant_checker.hh"
+#include "check/mutate.hh"
+#include "core/system.hh"
+#include "workload/scripted_source.hh"
+
+namespace tcc {
+namespace {
+
+/** Address of @p word on a page homed at @p dir (Interleave policy). */
+Addr
+homedAt(NodeId dir, std::uint32_t procs, std::uint32_t word = 0)
+{
+    const Addr page = 0x40000000ull / 4096;
+    const Addr aligned = (page / procs) * procs + dir;
+    return aligned * 4096 + word * 4;
+}
+
+/**
+ * A contended multi-directory workload: every processor increments
+ * hot counters homed at two directories and fills its own private
+ * page, so commits mark several directories and skips fan out to the
+ * rest - exercising every protocol path the mutations break.
+ */
+RunResult
+runContended(std::uint32_t aging_threshold = 3)
+{
+    constexpr std::uint32_t kProcs = 4;
+    SystemConfig cfg;
+    cfg.numProcs = kProcs;
+    cfg.homePolicy = HomePolicy::Interleave;
+    cfg.processor.agingThreshold = aging_threshold;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
+    System sys(cfg);
+
+    std::vector<ScriptedSource> srcs(kProcs);
+    for (NodeId p = 0; p < kProcs; ++p) {
+        for (int t = 0; t < 10; ++t) {
+            srcs[p].add({
+                TxOp::load(homedAt(0, kProcs)),
+                TxOp::compute(40 + 13 * p),
+                TxOp::storeAdd(homedAt(0, kProcs), 1),
+                TxOp::storeAdd(homedAt(1, kProcs), 1),
+                TxOp::store(homedAt(p, kProcs, 8 + t), p + 1),
+            });
+        }
+        sys.setSource(p, &srcs[p]);
+    }
+    return sys.run(500'000'000ull);
+}
+
+/** Assert the verdict blames @p invariant_name with full context. */
+void
+expectCaught(const RunResult &res, const char *invariant_name)
+{
+    ASSERT_FALSE(res.invariants.ok)
+        << "mutation ran undetected (" << invariant_name << ")";
+    EXPECT_NE(res.invariants.error.find(invariant_name),
+              std::string::npos)
+        << "diagnostic should name '" << invariant_name
+        << "', got: " << res.invariants.error;
+    EXPECT_NE(res.invariants.error.find("node "), std::string::npos)
+        << "diagnostic should name the node: " << res.invariants.error;
+    EXPECT_NE(res.invariants.error.find("tid"), std::string::npos)
+        << "diagnostic should name the TID: " << res.invariants.error;
+}
+
+TEST(InvariantMutations, CleanRunPassesAndActuallyChecks)
+{
+    const RunResult res = runContended();
+    ASSERT_TRUE(res.completed);
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_GT(res.invariants.checks, 0u);
+    EXPECT_TRUE(res.invariants.checked);
+}
+
+TEST(InvariantMutations, SkipVectorOverConsumeCaught)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::SkipVectorOverConsume);
+    expectCaught(runContended(), invariant::kSkipOrService);
+}
+
+TEST(InvariantMutations, NstidRewindCaught)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::NstidRewind);
+    expectCaught(runContended(), invariant::kNstidMonotonic);
+}
+
+TEST(InvariantMutations, CommitBeforeMarksCaught)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::CommitBeforeMarks);
+    expectCaught(runContended(), invariant::kCommitBeforeMarks);
+}
+
+TEST(InvariantMutations, DropSkipCaughtAsStall)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::DropSkip);
+    const RunResult res = runContended();
+    // Lost skips wedge every directory waiting on the skipped TID;
+    // the run cannot complete and the finalize pass pinpoints the
+    // lowest unserved TID.
+    EXPECT_FALSE(res.completed);
+    expectCaught(res, invariant::kServiceComplete);
+}
+
+TEST(InvariantMutations, TidDropOnViolationCaught)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::TidDropOnViolation);
+    // agingThreshold=1 makes repeat victims hold their TID while
+    // still executing - the window in which an unannounced violation
+    // must retain the TID, and the mutation drops it.
+    expectCaught(runContended(/*aging_threshold=*/1),
+                 invariant::kTidRetained);
+}
+
+TEST(InvariantMutations, HaltsAtFirstFailure)
+{
+    if (!mutate::compiledIn())
+        GTEST_SKIP() << "built without TCC_MUTATE";
+    mutate::Scoped arm(mutate::Kind::NstidRewind);
+    const RunResult res = runContended();
+    ASSERT_FALSE(res.invariants.ok);
+    // The run halts at the first failure instead of drowning in
+    // knock-on errors; the report carries exactly one diagnostic.
+    EXPECT_FALSE(res.completed);
+    EXPECT_FALSE(res.invariants.error.empty());
+}
+
+// --- direct unit tests of the checker itself ------------------------
+
+TEST(InvariantChecker, RetireTwiceRejected)
+{
+    InvariantChecker chk(2, nullptr);
+    EXPECT_TRUE(chk.onRetire(0, 0, InvariantChecker::Retire::Skip));
+    EXPECT_FALSE(chk.onRetire(0, 0, InvariantChecker::Retire::Commit));
+    EXPECT_TRUE(chk.failed());
+    EXPECT_NE(chk.result().error.find(invariant::kSkipOrService),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, NstidGapDetected)
+{
+    InvariantChecker chk(2, nullptr);
+    EXPECT_TRUE(chk.onRetire(1, 0, InvariantChecker::Retire::Commit));
+    chk.onNstidAdvance(1, 0, 3); // TIDs 1 and 2 never retired
+    EXPECT_TRUE(chk.failed());
+    EXPECT_NE(chk.result().error.find(invariant::kSkipOrService),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, CommitOrderEnforcedPerDirectory)
+{
+    InvariantChecker chk(2, nullptr);
+    chk.onCommitApply(0, 5, 1, 1, true, false);
+    chk.onCommitApply(1, 3, 1, 1, true, false); // other dir: fine
+    EXPECT_FALSE(chk.failed());
+    chk.onCommitApply(0, 4, 1, 1, true, false); // goes backwards
+    EXPECT_TRUE(chk.failed());
+    EXPECT_NE(chk.result().error.find(invariant::kCommitTidOrder),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, PartialBatchMayRepeatTid)
+{
+    InvariantChecker chk(1, nullptr);
+    chk.onCommitApply(0, 7, 1, 1, true, /*partial=*/true);
+    chk.onCommitApply(0, 7, 2, 2, true, /*partial=*/true);
+    chk.onCommitApply(0, 7, 3, 3, true, /*partial=*/false);
+    EXPECT_FALSE(chk.failed()) << chk.result().error;
+    chk.onCommitApply(0, 7, 1, 1, true, /*partial=*/true);
+    EXPECT_TRUE(chk.failed()) << "partial after full commit of same TID";
+}
+
+TEST(InvariantChecker, FinalizeReportsStall)
+{
+    InvariantChecker chk(1, nullptr);
+    chk.onRetire(0, 0, InvariantChecker::Retire::Commit);
+    chk.onNstidAdvance(0, 0, 1);
+    chk.finalize(/*issued=*/3, /*completed=*/false,
+                 /*hit_tick_limit=*/false);
+    EXPECT_TRUE(chk.failed());
+    EXPECT_NE(chk.result().error.find(invariant::kServiceComplete),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, FinalizeTolerantOfTickLimit)
+{
+    InvariantChecker chk(1, nullptr);
+    chk.finalize(/*issued=*/3, /*completed=*/false,
+                 /*hit_tick_limit=*/true);
+    EXPECT_FALSE(chk.failed()) << "max_ticks cut is not a stall";
+}
+
+} // namespace
+} // namespace tcc

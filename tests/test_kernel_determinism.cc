@@ -75,7 +75,7 @@ fingerprint(System &sys, const System::RunResult &res)
         fp.perProcCommits.push_back(s.txnsCommitted);
         fp.perProcDone.push_back(sys.proc(n).doneTick());
     }
-    fp.breakdown = sys.breakdown();
+    fp.breakdown = res.breakdown;
     return fp;
 }
 
@@ -115,19 +115,21 @@ runScripted(bool jitter)
 {
     SystemConfig cfg;
     cfg.numProcs = 4;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     if (jitter) {
-        cfg.mesh.reorderJitter = 7; // unordered network
-        cfg.mesh.seed = 99;
+        cfg.network.mesh.reorderJitter = 7; // unordered network
+        cfg.network.mesh.seed = 99;
     }
     System sys(cfg);
     auto srcs = conflictWorkload(cfg.numProcs);
     for (NodeId p = 0; p < cfg.numProcs; ++p)
         sys.setSource(p, srcs[p].get());
-    auto res = sys.run();
+    const RunResult res = sys.run();
     EXPECT_TRUE(res.completed);
-    EXPECT_TRUE(sys.protocolQuiesced());
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.quiesced);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     // The shared counter saw every committed increment exactly once.
     EXPECT_EQ(sys.memory().read(0x9000),
               static_cast<std::uint64_t>(cfg.numProcs) * 6);

@@ -25,7 +25,8 @@ protoConfig(std::uint32_t procs)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.homePolicy = HomePolicy::Interleave;
     return cfg;
 }
@@ -54,12 +55,14 @@ TEST(Protocol, Figure2_CommitAndViolation)
             TxOp::storeAdd(homedAt(1, 2), 0)});
     sys.setSource(0, &p1);
     sys.setSource(1, &p2);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
 
     // P2 must have violated once (it read x=0, then P1 committed 77).
     EXPECT_EQ(p2.violated(), 1u);
     EXPECT_EQ(sys.memory().read(homedAt(1, 2)), 77u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -73,7 +76,8 @@ TEST(Protocol, Figure3_ParallelCommitDisjointDirectories)
     p2.add({TxOp::compute(100), TxOp::store(homedAt(1, 2), 2)});
     sys.setSource(0, &p1);
     sys.setSource(1, &p2);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(p1.violated(), 0u);
     EXPECT_EQ(p2.violated(), 0u);
     EXPECT_EQ(sys.memory().read(homedAt(0, 2)), 1u);
@@ -94,12 +98,14 @@ TEST(Protocol, Figure3_ConflictingCommitAborts)
             TxOp::storeAdd(x, 5)});
     sys.setSource(0, &p1);
     sys.setSource(1, &p2);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     // Final value must reflect both writes in TID order: P1's 10,
     // then P2's 10+5.
     EXPECT_EQ(sys.memory().read(x), 15u);
     EXPECT_GE(p2.violated(), 1u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(Protocol, ConflictingWritesSerializeWithoutReads)
@@ -113,11 +119,13 @@ TEST(Protocol, ConflictingWritesSerializeWithoutReads)
     p2.add({TxOp::compute(100), TxOp::store(x, 222)});
     sys.setSource(0, &p1);
     sys.setSource(1, &p2);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(p1.violated() + p2.violated(), 0u);
     const auto final = sys.memory().read(x);
     EXPECT_TRUE(final == 111 || final == 222);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(Protocol, WriteBackDataForwarding)
@@ -133,7 +141,8 @@ TEST(Protocol, WriteBackDataForwarding)
     p2.add({TxOp::load(x), TxOp::storeAdd(homedAt(1, 2), 0)});
     sys.setSource(0, &p1);
     sys.setSource(1, &p2);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(homedAt(1, 2)), 42u);
     // The transfer went cache-to-cache: shared traffic is nonzero.
     EXPECT_GT(sys.network().stats()
@@ -152,7 +161,8 @@ TEST(Protocol, ReadOnlySharersDoNotViolateEachOther)
                          TxOp::compute(100)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     for (auto &s : srcs)
         EXPECT_EQ(s.violated(), 0u);
     EXPECT_TRUE(sys.protocolQuiesced());
@@ -173,9 +183,11 @@ TEST(Protocol, ManyWritersOneCounterExactTotal)
                          TxOp::storeAdd(ctr, 1)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(ctr), kProcs * kIters);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -201,11 +213,13 @@ TEST(Protocol, AgingGrantsEarlyTidAfterRepeatedViolations)
     sys.setSource(0, &victim);
     sys.setSource(1, &a1);
     sys.setSource(2, &a2);
-    ASSERT_TRUE(sys.run(500'000'000).completed);
+    const RunResult res = sys.run(500'000'000);
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(victim.committed(), 1u);
     // 80 increments of 1, plus one increment of 100 at whatever value
     // the victim finally observed - conservation holds per checker.
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     // Aging fired: once the victim retains an early TID, it executes
     // under global protection, so it suffers at most a handful of
     // violations (threshold 2 + the race window) instead of being
@@ -239,12 +253,14 @@ TEST(Protocol, EvictionWriteBackKeepsDataCorrect)
     p1.add({TxOp::compute(10)});
     sys.setSource(0, &p0);
     sys.setSource(1, &p1);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     for (int i = 0; i < 64; ++i)
         EXPECT_EQ(sys.memory().read(homedAt(1, 2) + 4 * i),
                   1000u + i);
     EXPECT_GT(sys.proc(0).cache().stats().dirtyEvictions, 0u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(Protocol, SkipTrafficReachesEveryDirectory)
@@ -258,7 +274,8 @@ TEST(Protocol, SkipTrafficReachesEveryDirectory)
                      TxOp::store(homedAt(p, 6), p)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     for (NodeId d = 0; d < 6; ++d)
         EXPECT_EQ(sys.directory(d).nstid(), sys.vendor().issued());
 }
@@ -279,9 +296,11 @@ TEST(Protocol, WriteThroughCommitStillSerializable)
                          TxOp::storeAdd(ctr, 1)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(ctr), 40u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
     // Memory is always current: no owner flushes.
     EXPECT_EQ(sys.network().stats()
@@ -301,7 +320,8 @@ TEST(Protocol, CommitTimeIsBoundedForSmallTransactions)
                          TxOp::store(homedAt(p, 4) + 4 * i, i)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     for (NodeId p = 0; p < 4; ++p) {
         const auto &s = sys.proc(p).stats();
         EXPECT_LT(s.commitLatency.percentile(90), 500.0)

@@ -19,7 +19,8 @@ tinyCacheConfig(std::uint32_t procs)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.homePolicy = HomePolicy::Interleave;
     cfg.cache.l1Bytes = 128;
     cfg.cache.l1Assoc = 2;
@@ -55,7 +56,8 @@ TEST(SoloMode, HugeTransactionCommitsOnce)
     for (int i = 0; i < 128; ++i)
         EXPECT_EQ(sys.memory().read(0x100000ull + 0x20 * i),
                   static_cast<std::uint64_t>(i + 1));
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -87,7 +89,8 @@ TEST(SoloMode, SoloTransactionBlocksYoungerCommitsButNotForever)
     auto res = sys.run(500'000'000ull);
     ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0xA00000), 30u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -121,7 +124,8 @@ TEST(SoloMode, DrainedValuesVisibleToLaterReaders)
     for (int i = 0; i < 96; ++i)
         EXPECT_EQ(sys.memory().read(0x200000ull + 4 * i), 7u)
             << "i=" << i;
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(SoloMode, DisabledFallbackKeepsViolating)

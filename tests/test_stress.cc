@@ -119,11 +119,13 @@ runStress(const StressParam &p)
 {
     SystemConfig cfg;
     cfg.numProcs = p.procs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.cache.granularity = p.gran;
-    cfg.idealNetwork = p.ideal;
-    cfg.mesh.reorderJitter = p.jitter;
-    cfg.mesh.seed = p.seed;
+    cfg.network.model = p.ideal ? NetworkConfig::Model::Ideal
+                                : NetworkConfig::Model::Mesh;
+    cfg.network.mesh.reorderJitter = p.jitter;
+    cfg.network.mesh.seed = p.seed;
     cfg.writeThroughCommit = p.writeThrough;
     cfg.directory.dirCacheEntries = p.dirCacheEntries;
     System sys(cfg);
@@ -133,7 +135,7 @@ runStress(const StressParam &p)
     for (NodeId n = 0; n < p.procs; ++n)
         sys.setSource(n, &srcs[n]);
 
-    auto res = sys.run(1'000'000'000ull);
+    const RunResult res = sys.run(1'000'000'000ull);
     StressResult out;
     out.completed = res.completed;
     if (!out.completed)
@@ -145,19 +147,19 @@ runStress(const StressParam &p)
         if (srcs[n].committed() != kTxns)
             out.allCommitted = false;
 
-    // Serializability.
-    auto check = sys.checker().verify();
-    out.checkerOk = check.ok;
-    out.checkerError = check.error;
+    // Serializability and online protocol invariants.
+    out.checkerOk = res.serial.ok && res.invariants.ok;
+    out.checkerError =
+        !res.serial.ok ? res.serial.error : res.invariants.error;
 
     // Quiescence.
-    out.quiesced = sys.protocolQuiesced();
+    out.quiesced = res.quiesced;
 
     // Hot counters must equal the number of increments recorded by
     // the replay (conservation is implied by the checker, but verify
     // the simulator's memory too).
     out.memoryOk = true;
-    auto final_state = sys.checker().replayFinalState();
+    auto final_state = sys.commitLog().replayFinalState();
     for (const auto &[addr, val] : final_state) {
         if (sys.memory().read(addr) != val) {
             out.memoryOk = false;
@@ -253,7 +255,8 @@ TEST_P(TinyCacheStress, OverflowViolatesButStaysCorrect)
 {
     SystemConfig cfg;
     cfg.numProcs = 4;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.cache.l1Bytes = 128;
     cfg.cache.l1Assoc = 2;
     cfg.cache.l2Bytes = 1024; // 32 lines
@@ -277,11 +280,11 @@ TEST_P(TinyCacheStress, OverflowViolatesButStaysCorrect)
         sys.setSource(proc, &srcs[proc]);
     }
 
-    auto res = sys.run(2'000'000'000ull);
+    const RunResult res = sys.run(2'000'000'000ull);
     ASSERT_TRUE(res.completed);
-    auto check = sys.checker().verify();
-    EXPECT_TRUE(check.ok) << check.error;
-    EXPECT_TRUE(sys.protocolQuiesced());
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
+    EXPECT_TRUE(res.quiesced);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TinyCacheStress,

@@ -138,10 +138,11 @@ runOne(const SimConfig &c)
 {
     SystemConfig cfg;
     cfg.numProcs = c.procs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     cfg.cache.granularity = c.gran;
-    cfg.mesh.reorderJitter = c.jitter;
-    cfg.mesh.seed = c.seed;
+    cfg.network.mesh.reorderJitter = c.jitter;
+    cfg.network.mesh.seed = c.seed;
     System sys(cfg);
 
     std::vector<ScriptedSource> srcs(c.procs);
@@ -162,7 +163,7 @@ runOne(const SimConfig &c)
         sys.setSource(p, &srcs[p]);
     }
 
-    auto res = sys.run(1'000'000'000ull);
+    const RunResult res = sys.run(1'000'000'000ull);
     SimResult out;
     out.cycles = res.cycles;
     out.events = res.events;
@@ -173,8 +174,8 @@ runOne(const SimConfig &c)
     }
     out.messages = sys.network().stats().messages;
     out.bytes = sys.network().stats().totalBytes;
-    out.checkerOk = sys.checker().verify().ok;
-    out.quiesced = sys.protocolQuiesced();
+    out.checkerOk = res.serial.ok && res.invariants.ok;
+    out.quiesced = res.quiesced;
     return out;
 }
 

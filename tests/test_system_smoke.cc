@@ -18,7 +18,10 @@ smallConfig(std::uint32_t procs, bool checker = true)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
-    cfg.enableChecker = checker;
+    cfg.check.serial = checker;
+    // The online invariant checker is passive; arm it everywhere for
+    // free protocol coverage.
+    cfg.check.invariants = true;
     return cfg;
 }
 
@@ -29,12 +32,13 @@ TEST(SystemSmoke, SingleProcSingleTxnCommits)
     src.add({TxOp::compute(100), TxOp::store(0x1000, 42)});
     sys.setSource(0, &src);
 
-    auto res = sys.run();
+    const RunResult res = sys.run();
     ASSERT_TRUE(res.completed);
     EXPECT_EQ(src.committed(), 1u);
     EXPECT_EQ(sys.memory().read(0x1000), 42u);
     EXPECT_TRUE(sys.protocolQuiesced());
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_EQ(sys.proc(0).stats().txnsCommitted, 1u);
 }
 
@@ -45,9 +49,11 @@ TEST(SystemSmoke, ReadAfterWriteAcrossTransactions)
     src.add({TxOp::store(0x1000, 5)});
     src.add({TxOp::load(0x1000), TxOp::storeAdd(0x2000, 10)});
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x2000), 15u); // 5 + 10
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(SystemSmoke, TwoProcsDisjointDataBothCommit)
@@ -58,11 +64,13 @@ TEST(SystemSmoke, TwoProcsDisjointDataBothCommit)
     b.add({TxOp::compute(50), TxOp::store(0x20000, 2)});
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x10000), 1u);
     EXPECT_EQ(sys.memory().read(0x20000), 2u);
     EXPECT_TRUE(sys.protocolQuiesced());
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(SystemSmoke, ConflictingIncrementsAreSerialized)
@@ -79,10 +87,12 @@ TEST(SystemSmoke, ConflictingIncrementsAreSerialized)
     }
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x1000),
               static_cast<std::uint64_t>(2 * kIters));
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -98,9 +108,11 @@ TEST(SystemSmoke, BarrierSynchronizesPhases)
           /*barrier_before=*/true);
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x3000), 7u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(SystemSmoke, ManyProcsManyTxnsQuiesce)
@@ -115,11 +127,13 @@ TEST(SystemSmoke, ManyProcsManyTxnsQuiesce)
         }
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     for (NodeId p = 0; p < 8; ++p)
         EXPECT_EQ(srcs[p].committed(), 10u);
     EXPECT_TRUE(sys.protocolQuiesced());
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     // Every TID was issued and retired by every directory.
     EXPECT_EQ(sys.vendor().issued(), 80u);
 }
@@ -131,8 +145,9 @@ TEST(SystemSmoke, UsefulCyclesDominateUncontendedRun)
     for (int i = 0; i < 5; ++i)
         src.add({TxOp::compute(10000), TxOp::store(0x1000 + 4 * i, i)});
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
-    auto bd = sys.breakdown();
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
+    const Breakdown &bd = res.breakdown;
     EXPECT_GT(bd.fraction(bd.useful), 0.9);
     EXPECT_EQ(bd.violation, 0u);
 }
@@ -140,7 +155,7 @@ TEST(SystemSmoke, UsefulCyclesDominateUncontendedRun)
 TEST(SystemSmoke, IdealNetworkAlsoWorks)
 {
     auto cfg = smallConfig(4);
-    cfg.idealNetwork = true;
+    cfg.network.model = NetworkConfig::Model::Ideal;
     System sys(cfg);
     std::vector<ScriptedSource> srcs(4);
     for (NodeId p = 0; p < 4; ++p) {
@@ -148,9 +163,11 @@ TEST(SystemSmoke, IdealNetworkAlsoWorks)
                      TxOp::storeAdd(0x1000, 1)});
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x1000), 4u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(SystemSmoke, ReadOnlyTransactionsCommit)
@@ -162,7 +179,8 @@ TEST(SystemSmoke, ReadOnlyTransactionsCommit)
     b.add({TxOp::load(0x1000), TxOp::compute(10)});
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(a.committed() + b.committed(), 2u);
     EXPECT_TRUE(sys.protocolQuiesced());
 }

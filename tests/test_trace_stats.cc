@@ -85,7 +85,8 @@ TEST(TraceSource, RunsThroughTheSystem)
     System sys([] {
         SystemConfig cfg;
         cfg.numProcs = 2;
-        cfg.enableChecker = true;
+        cfg.check.serial = true;
+        cfg.check.invariants = true;
         return cfg;
     }());
 
@@ -101,9 +102,11 @@ TEST(TraceSource, RunsThroughTheSystem)
                               "a 0x1000 7\n"));
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x1000), 17u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 // ---------------------------------------------------------------------

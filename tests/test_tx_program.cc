@@ -19,7 +19,8 @@ txCfg(std::uint32_t procs)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     return cfg;
 }
 
@@ -32,10 +33,12 @@ TEST(TxProgram, SimpleAtomicWrite)
         tx.store(0x1000, 42);
     });
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x1000), 42u);
     EXPECT_EQ(src.committed(), 1u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(TxProgram, ReadModifyWriteChainsAcrossTransactions)
@@ -48,9 +51,11 @@ TEST(TxProgram, ReadModifyWriteChainsAcrossTransactions)
         });
     }
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x1000), 30u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(TxProgram, ReadOwnWriteInsideTransaction)
@@ -63,7 +68,8 @@ TEST(TxProgram, ReadOwnWriteInsideTransaction)
         tx.store(0x2000, v * 2);
     });
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x2000), 10u);
 }
 
@@ -93,9 +99,11 @@ TEST(TxProgram, DataDependentControlFlow)
         });
     }
     sys.setSource(0, &src);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(head), 0u); // fully drained
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(TxProgram, ConcurrentCountersExact)
@@ -116,9 +124,11 @@ TEST(TxProgram, ConcurrentCountersExact)
         }
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(0x5000), kProcs * kIters);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
     EXPECT_TRUE(sys.protocolQuiesced());
 }
 
@@ -144,11 +154,13 @@ TEST(TxProgram, ConflictsTriggerRegeneration)
     b.atomic(pop);
     sys.setSource(0, &a);
     sys.setSource(1, &b);
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     // Both pops committed: the stack is empty, nothing popped twice.
     EXPECT_EQ(sys.memory().read(head), 0u);
     EXPECT_GE(a.regenerated() + b.regenerated(), 1u);
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 TEST(TxProgram, WorkQueueDrainsExactlyOnce)
@@ -179,11 +191,13 @@ TEST(TxProgram, WorkQueueDrainsExactlyOnce)
         }
         sys.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(sys.run().completed);
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(sys.memory().read(next_item), kItems);
     for (std::uint64_t i = 0; i < kItems; ++i)
         EXPECT_EQ(sys.memory().read(done_flag(i)), 1u) << "item " << i;
-    EXPECT_TRUE(sys.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 } // namespace

@@ -117,7 +117,8 @@ TEST(SyntheticApp, EndToEndSerializableOnFourProcs)
 {
     SystemConfig cfg;
     cfg.numProcs = 4;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     System sys(cfg);
 
     // A shrunken high-conflict profile keeps the test fast while still
@@ -127,23 +128,21 @@ TEST(SyntheticApp, EndToEndSerializableOnFourProcs)
     prof.phases = 2;
     auto sources = setupApp(sys, prof, 42);
 
-    auto res = sys.run(/*max_ticks=*/50'000'000);
+    const RunResult res = sys.run(/*max_ticks=*/50'000'000);
     ASSERT_TRUE(res.completed);
-    EXPECT_TRUE(sys.protocolQuiesced());
-    auto check = sys.checker().verify();
-    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_TRUE(res.quiesced);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 
-    std::uint64_t committed = 0;
-    for (NodeId p = 0; p < 4; ++p)
-        committed += sys.proc(p).stats().txnsCommitted;
-    EXPECT_EQ(committed, 128u);
+    EXPECT_EQ(res.committedTxns, 128u);
 }
 
 TEST(SyntheticApp, HighConflictStillLivelockFree)
 {
     SystemConfig cfg;
     cfg.numProcs = 8;
-    cfg.enableChecker = true;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
     System sys(cfg);
 
     AppProfile prof = appProfile("cluster_ga");
@@ -153,11 +152,11 @@ TEST(SyntheticApp, HighConflictStillLivelockFree)
     prof.phases = 2;
     auto sources = setupApp(sys, prof, 9);
 
-    auto res = sys.run(/*max_ticks=*/200'000'000);
+    const RunResult res = sys.run(/*max_ticks=*/200'000'000);
     ASSERT_TRUE(res.completed) << "possible livelock";
-    EXPECT_TRUE(sys.protocolQuiesced());
-    auto check = sys.checker().verify();
-    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_TRUE(res.quiesced);
+    EXPECT_TRUE(res.serial.ok) << res.serial.error;
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
 }
 
 } // namespace
