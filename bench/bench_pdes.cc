@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Parallel single-run (PDES) engine benchmark with a machine-readable
+ * result (BENCH_pdes.json): simulated events/sec of one System run
+ * across processor counts and worker-thread counts.
+ *
+ * The grid is procs x jobs with the domain count fixed per processor
+ * count (the partition is part of the simulation model; jobs is not).
+ * Before any timing is reported, every jobs > 1 point is checked
+ * bit-identical to the jobs = 1 point of the same row - a mismatch
+ * fails the benchmark: a PDES run's result must be a pure function of
+ * (config, seeds, domain count), never of the thread count.
+ *
+ * The speedup gate only arms on hardware that can actually run the
+ * workers side by side (>= 4 hardware threads); single-core machines
+ * still run the full determinism gate. The JSON records
+ * hardware_concurrency so a trend reader knows which case produced
+ * each file.
+ *
+ * Usage: bench_pdes [--smoke] [--out PATH]
+ *   --smoke   16 procs, jobs {1,2}, tiny workload (CI wiring check)
+ *   --out     JSON output path (default BENCH_pdes.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/system.hh"
+#include "workload/synthetic_app.hh"
+
+// Configure-time git revision (set by bench/CMakeLists.txt) so each
+// BENCH_*.json records what code produced it.
+#ifndef TCC_GIT_REV
+#define TCC_GIT_REV "unknown"
+#endif
+
+namespace {
+
+using namespace tcc;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Everything the determinism gate compares, plus the timing. */
+struct Point {
+    std::uint32_t procs = 0;
+    std::uint32_t domains = 0;
+    std::uint32_t jobs = 0;
+    double wallSec = 0;
+    double eventsPerSec = 0;
+    RunResult res;
+};
+
+/** The jobs = 1 result every jobs > 1 run of the same row must
+ *  reproduce bit for bit. pdes.jobs is the one excluded field: it
+ *  records the thread count itself. */
+bool
+sameResult(const RunResult &a, const RunResult &b, std::string *why)
+{
+#define CMP(field)                                                     \
+    do {                                                               \
+        if (a.field != b.field) {                                      \
+            *why = #field;                                             \
+            return false;                                              \
+        }                                                              \
+    } while (0)
+    CMP(cycles);
+    CMP(completed);
+    CMP(events);
+    CMP(quiesced);
+    CMP(committedTxns);
+    CMP(violations);
+    CMP(overflows);
+    CMP(committedInstructions);
+    CMP(breakdown.useful);
+    CMP(breakdown.miss);
+    CMP(breakdown.commit);
+    CMP(breakdown.idle);
+    CMP(breakdown.violation);
+    CMP(pdes.domains);
+    CMP(pdes.lookahead);
+    CMP(pdes.windows);
+    CMP(pdes.mailboxMessages);
+    if (a.procs.size() != b.procs.size() ||
+        a.dirs.size() != b.dirs.size()) {
+        *why = "stats vector size";
+        return false;
+    }
+    for (std::size_t p = 0; p < a.procs.size(); ++p) {
+        CMP(procs[p].txnsCommitted);
+        CMP(procs[p].violations);
+        CMP(procs[p].overflows);
+        CMP(procs[p].committedInstructions);
+    }
+    for (std::size_t d = 0; d < a.dirs.size(); ++d) {
+        CMP(dirs[d].nstid);
+        CMP(dirs[d].commitsServed);
+        CMP(dirs[d].invalidationsSent);
+    }
+#undef CMP
+    return true;
+}
+
+Point
+runPoint(const std::string &app, std::uint32_t procs,
+         std::uint32_t domains, std::uint32_t jobs, bool smoke)
+{
+    SystemConfig cfg;
+    cfg.numProcs = procs;
+    cfg.homePolicy = HomePolicy::Interleave;
+    cfg.pdes.domains = domains;
+    cfg.pdes.jobs = jobs;
+    System sys(cfg);
+    AppProfile prof = appProfile(app);
+    if (smoke) {
+        prof.phases = 1;
+        prof.txnsPerPhase =
+            std::min<std::uint32_t>(prof.txnsPerPhase, 64);
+    }
+    auto sources = setupApp(sys, prof, /*seed=*/1);
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult res = sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    Point pt;
+    pt.procs = procs;
+    pt.domains = domains;
+    pt.jobs = jobs;
+    pt.wallSec = seconds(t0, t1);
+    pt.eventsPerSec = static_cast<double>(res.events) / pt.wallSec;
+    pt.res = std::move(res);
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string outPath = "BENCH_pdes.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // Domain count per processor count: one domain per mesh-row block
+    // of 2 rows (16 procs: 4x4 grid -> 4 domains of one row each is
+    // too fine; 4 strikes the balance measured in DESIGN.md sec. 11).
+    struct Row {
+        const char *app;
+        std::uint32_t procs;
+        std::uint32_t domains;
+    };
+    const std::vector<Row> rows =
+        smoke ? std::vector<Row>{{"barnes", 16, 4}}
+              : std::vector<Row>{{"barnes", 16, 4},
+                                 {"barnes", 64, 8},
+                                 {"swim", 256, 16}};
+    const std::vector<std::uint32_t> jobsList =
+        smoke ? std::vector<std::uint32_t>{1, 2}
+              : std::vector<std::uint32_t>{1, 2, 4, 8};
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("== PDES single-run throughput (hw threads: %u) ==\n",
+                hw);
+
+    std::vector<Point> points;
+    bool deterministic = true;
+    double speedupJ4 = 0.0; // largest-procs row, jobs 4 vs jobs 1
+    for (const Row &row : rows) {
+        RunResult baseRes;
+        double baseWall = 0;
+        for (std::uint32_t jobs : jobsList) {
+            points.push_back(
+                runPoint(row.app, row.procs, row.domains, jobs, smoke));
+            const Point &pt = points.back();
+            std::printf("%-8s procs=%-4u domains=%-3u jobs=%-2u : "
+                        "%9.3f sec  %12.0f events/sec  "
+                        "(%llu windows, %llu mailbox msgs)\n",
+                        row.app, row.procs, row.domains, jobs,
+                        pt.wallSec, pt.eventsPerSec,
+                        (unsigned long long)pt.res.pdes.windows,
+                        (unsigned long long)pt.res.pdes.mailboxMessages);
+            if (!pt.res.completed) {
+                std::fprintf(stderr, "FAIL: run did not complete\n");
+                return 1;
+            }
+            if (jobs == 1) {
+                baseRes = pt.res;
+                baseWall = pt.wallSec;
+                continue;
+            }
+            std::string why;
+            if (!sameResult(baseRes, pt.res, &why)) {
+                std::fprintf(stderr,
+                             "MISMATCH at procs=%u jobs=%u: '%s' "
+                             "differs from the jobs=1 run - PDES "
+                             "result depends on the thread count\n",
+                             row.procs, jobs, why.c_str());
+                deterministic = false;
+            }
+            if (&row == &rows.back() && jobs == 4)
+                speedupJ4 = baseWall / pt.wallSec;
+        }
+    }
+    std::printf("determinism        : %s\n",
+                deterministic ? "jobs>1 bit-identical to jobs=1"
+                              : "MISMATCH");
+    if (speedupJ4 != 0.0)
+        std::printf("speedup (jobs=4)   : %8.2fx at %u procs\n",
+                    speedupJ4, rows.back().procs);
+
+    std::FILE *f = std::fopen(outPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"deterministic\": %d,\n"
+                 "  \"points_total\": %zu,\n"
+                 "  \"events_per_sec_jobs1\": %.0f,\n"
+                 "  \"speedup_jobs4\": %.3f,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"git_rev\": \"%s\",\n"
+                 "  \"points\": [\n",
+                 deterministic ? 1 : 0, points.size(),
+                 points.empty() ? 0.0 : points.front().eventsPerSec,
+                 speedupJ4, hw, TCC_GIT_REV);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &pt = points[i];
+        std::fprintf(
+            f,
+            "    {\"procs\": %u, \"domains\": %u, \"jobs\": %u, "
+            "\"wall_sec\": %.6f, \"events_per_sec\": %.0f, "
+            "\"cycles\": %llu, \"events\": %llu, "
+            "\"lookahead\": %llu, \"windows\": %llu, "
+            "\"mailbox_messages\": %llu}%s\n",
+            pt.procs, pt.domains, pt.res.pdes.jobs, pt.wallSec,
+            pt.eventsPerSec, (unsigned long long)pt.res.cycles,
+            (unsigned long long)pt.res.events,
+            (unsigned long long)pt.res.pdes.lookahead,
+            (unsigned long long)pt.res.pdes.windows,
+            (unsigned long long)pt.res.pdes.mailboxMessages,
+            i + 1 == points.size() ? "" : ",");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"config\": {\n"
+                 "    \"smoke\": %s,\n"
+                 "    \"jobs_swept\": %zu,\n"
+                 "    \"rows\": %zu\n"
+                 "  }\n"
+                 "}\n",
+                 smoke ? "true" : "false", jobsList.size(),
+                 rows.size());
+    std::fclose(f);
+    std::printf("wrote %s\n", outPath.c_str());
+
+    if (!deterministic)
+        return 1;
+    // Speedup gate: only meaningful where the OS can actually schedule
+    // 4 workers concurrently.
+    if (!smoke && hw >= 4 && speedupJ4 != 0.0 && speedupJ4 < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: jobs=4 speedup %.2fx < 1.5x on %u "
+                     "hardware threads\n",
+                     speedupJ4, hw);
+        return 1;
+    }
+    return 0;
+}

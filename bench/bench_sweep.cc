@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -47,6 +48,36 @@ seconds(std::chrono::steady_clock::time_point a,
         std::chrono::steady_clock::time_point b)
 {
     return std::chrono::duration<double>(b - a).count();
+}
+
+/** Mean / min / relative standard deviation of repeated wall times.
+ *  The minimum feeds the speedup (least-noise estimate); the relative
+ *  stddev tells the gate whether this machine's timings are stable
+ *  enough to fail on. */
+struct WallStats {
+    double minSec = 0;
+    double meanSec = 0;
+    double relStddev = 0;
+};
+
+WallStats
+wallStats(const std::vector<double> &times)
+{
+    WallStats w;
+    w.minSec = times[0];
+    double sum = 0;
+    for (double t : times) {
+        sum += t;
+        w.minSec = std::min(w.minSec, t);
+    }
+    w.meanSec = sum / static_cast<double>(times.size());
+    double var = 0;
+    for (double t : times)
+        var += (t - w.meanSec) * (t - w.meanSec);
+    var /= static_cast<double>(times.size());
+    if (w.meanSec > 0)
+        w.relStddev = std::sqrt(var) / w.meanSec;
+    return w;
 }
 
 struct GridCell {
@@ -245,17 +276,40 @@ main(int argc, char **argv)
     std::printf("== sweep-engine throughput (%zu runs) ==\n",
                 grid.size());
 
-    const auto s0 = std::chrono::steady_clock::now();
-    const auto serial = runGrid(grid, 1);
-    const auto s1 = std::chrono::steady_clock::now();
-    const double serialSec = seconds(s0, s1);
-    std::printf("serial   (1 job%s) : %8.3f sec\n", "", serialSec);
-
-    const auto p0 = std::chrono::steady_clock::now();
-    const auto parallel = runGrid(grid, jobs);
-    const auto p1 = std::chrono::steady_clock::now();
-    const double parallelSec = seconds(p0, p1);
-    std::printf("parallel (%u jobs) : %8.3f sec\n", jobs, parallelSec);
+    // Repeat each timed pass so the JSON carries per-run wall times
+    // and the speedup gate can tell a real regression from scheduler
+    // noise. The grid results are deterministic, so only the first
+    // pass's outcomes are kept for the bit-identity check.
+    const int passes = smoke ? 1 : 3;
+    std::vector<double> serialTimes, parallelTimes;
+    std::vector<RunOutcome> serial, parallel;
+    for (int p = 0; p < passes; ++p) {
+        const auto s0 = std::chrono::steady_clock::now();
+        auto out = runGrid(grid, 1);
+        const auto s1 = std::chrono::steady_clock::now();
+        serialTimes.push_back(seconds(s0, s1));
+        if (p == 0)
+            serial = std::move(out);
+    }
+    for (int p = 0; p < passes; ++p) {
+        const auto p0 = std::chrono::steady_clock::now();
+        auto out = runGrid(grid, jobs);
+        const auto p1 = std::chrono::steady_clock::now();
+        parallelTimes.push_back(seconds(p0, p1));
+        if (p == 0)
+            parallel = std::move(out);
+    }
+    const WallStats serialW = wallStats(serialTimes);
+    const WallStats parallelW = wallStats(parallelTimes);
+    const double serialSec = serialW.minSec;
+    const double parallelSec = parallelW.minSec;
+    std::printf("serial   (1 job%s) : %8.3f sec "
+                "(min of %d, +/-%.1f%%)\n",
+                "", serialSec, passes, serialW.relStddev * 100.0);
+    std::printf("parallel (%u jobs) : %8.3f sec "
+                "(min of %d, +/-%.1f%%)\n",
+                jobs, parallelSec, passes,
+                parallelW.relStddev * 100.0);
 
     // Determinism gate: the parallel sweep must reproduce the serial
     // sweep bit for bit, or its timing is meaningless.
@@ -303,10 +357,20 @@ main(int argc, char **argv)
         return 1;
     }
     const unsigned hw = std::thread::hardware_concurrency();
+    auto printTimes = [f](const char *key,
+                          const std::vector<double> &times) {
+        std::fprintf(f, "  \"%s\": [", key);
+        for (std::size_t i = 0; i < times.size(); ++i)
+            std::fprintf(f, "%s%.6f", i ? ", " : "", times[i]);
+        std::fprintf(f, "],\n");
+    };
+    std::fprintf(f, "{\n");
+    printTimes("serial_runs_sec", serialTimes);
+    printTimes("parallel_runs_sec", parallelTimes);
     std::fprintf(f,
-                 "{\n"
                  "  \"serial_sec\": %.6f,\n"
                  "  \"parallel_sec\": %.6f,\n"
+                 "  \"wall_time_rel_stddev\": %.4f,\n"
                  "  \"jobs\": %u,\n"
                  "  \"speedup\": %.3f,\n"
                  "  \"flatmap_events_per_sec\": %.0f,\n"
@@ -324,7 +388,9 @@ main(int argc, char **argv)
                  "    \"procs\": [8, 16]\n"
                  "  }\n"
                  "}\n",
-                 serialSec, parallelSec, jobs, speedup,
+                 serialSec, parallelSec,
+                 std::max(serialW.relStddev, parallelW.relStddev),
+                 jobs, speedup,
                  flat.eventsPerSec,
                  (unsigned long long)flat.arenaPeakBytes,
                  (unsigned long long)flat.arenaChunks,
@@ -349,6 +415,20 @@ main(int argc, char **argv)
         return 1;
     }
     if (!smoke && jobs > 1 && hw > 1 && speedup < 1.0) {
+        // On a noisy machine (high run-to-run variance) a sub-1.0
+        // ratio is as likely to be scheduler interference as a real
+        // regression: warn, record, and let the trend file decide.
+        const double noise =
+            std::max(serialW.relStddev, parallelW.relStddev);
+        if (noise > 0.10) {
+            std::fprintf(stderr,
+                         "WARN: parallel sweep slower than serial "
+                         "(%.2fx with %u jobs on %u hardware threads) "
+                         "but wall times vary +/-%.0f%% - not failing "
+                         "on a noisy machine\n",
+                         speedup, jobs, hw, noise * 100.0);
+            return 0;
+        }
         std::fprintf(stderr,
                      "FAIL: parallel sweep slower than serial "
                      "(%.2fx with %u jobs on %u hardware threads)\n",

@@ -18,6 +18,13 @@
  *     --interleave      page-interleaved homes (default first-touch)
  *     --jitter N        random reorder jitter (unordered network)
  *     --aging N         violations before TID aging (0 = off)
+ *     --domains D       PDES: partition the run into D domains (>= 2
+ *                       engages the parallel engine; needs
+ *                       --interleave). Part of the model: results
+ *                       depend on D, never on --jobs.
+ *     --jobs N          PDES: worker threads driving the domains
+ *                       (default: one per domain; any N gives
+ *                       bit-identical results)
  *     --seed N          workload + chaos seed (default 1)
  *     --check LIST      comma list of checkers: serial, invariants
  *                       (bare --check arms the serial checker)
@@ -54,7 +61,8 @@ usage(const char *argv0)
                  "usage: %s [--app NAME] [--procs N] "
                  "[--network mesh|ideal|chaos:<preset>] "
                  "[--chaos PRESET] [--hop N] [--line-gran] "
-                 "[--interleave] [--jitter N] [--aging N] [--seed N] "
+                 "[--interleave] [--jitter N] [--aging N] "
+                 "[--domains D] [--jobs N] [--seed N] "
                  "[--check serial,invariants] [--trace] "
                  "[--trace-out FILE] [--stats FILE] "
                  "[--stats-json FILE]\n",
@@ -173,6 +181,12 @@ main(int argc, char **argv)
         } else if (arg == "--aging") {
             cfg.processor.agingThreshold =
                 static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (arg == "--domains") {
+            cfg.pdes.domains =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (arg == "--jobs") {
+            cfg.pdes.jobs =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
         } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
@@ -261,6 +275,14 @@ main(int argc, char **argv)
     std::printf("\ncompleted in %llu cycles (%llu events)\n",
                 (unsigned long long)res.cycles,
                 (unsigned long long)res.events);
+    if (res.pdes.domains != 0) {
+        std::printf("pdes: %u domains x %u jobs, lookahead %llu, "
+                    "%llu windows, %llu mailbox messages\n",
+                    res.pdes.domains, res.pdes.jobs,
+                    (unsigned long long)res.pdes.lookahead,
+                    (unsigned long long)res.pdes.windows,
+                    (unsigned long long)res.pdes.mailboxMessages);
+    }
 
     std::puts("\n-- execution time breakdown --");
     std::puts(breakdownHeader().c_str());

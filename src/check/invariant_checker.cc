@@ -8,7 +8,8 @@ namespace tcc {
 InvariantChecker::InvariantChecker(std::uint32_t num_nodes,
                                    const TraceRecorder *tracer_,
                                    std::size_t history)
-    : dirs(num_nodes), tracer(tracer_), historyLen(history)
+    : dirs(num_nodes), tracer(tracer_), historyLen(history),
+      rangeCount(num_nodes)
 {
     for (auto &d : dirs)
         d.retired.reserve(64);
@@ -181,8 +182,9 @@ InvariantChecker::finalize(Tid issued, bool completed,
     ++verdict.checks;
     if (failed())
         return;
+    const NodeId range_end = rangeFirst + rangeCount;
     if (completed) {
-        for (NodeId n = 0; n < dirs.size(); ++n) {
+        for (NodeId n = rangeFirst; n < range_end; ++n) {
             const DirState &d = dirs[n];
             if (d.nstid != issued || d.retireCount != issued) {
                 fail(invariant::kServiceComplete, n, d.nstid,
@@ -199,7 +201,7 @@ InvariantChecker::finalize(Tid issued, bool completed,
     if (hit_tick_limit)
         return; // cut short by max_ticks: incompleteness is expected
     // The event queue drained with work left: the protocol stalled.
-    for (NodeId n = 0; n < dirs.size(); ++n) {
+    for (NodeId n = rangeFirst; n < range_end; ++n) {
         const DirState &d = dirs[n];
         if (d.nstid < issued) {
             fail(invariant::kServiceComplete, n, d.nstid,

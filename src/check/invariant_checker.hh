@@ -83,6 +83,20 @@ class InvariantChecker
                      const TraceRecorder *tracer,
                      std::size_t history = 8);
 
+    /**
+     * Restrict the finalize() completeness pass to directories
+     * [first, first + count). PDES arms one checker per domain: the
+     * online hooks only ever see that domain's directories, and the
+     * end-of-run sweep must not report the other domains' (locally
+     * empty) states as stalls. Default: all nodes.
+     */
+    void
+    setNodeRange(NodeId first, std::uint32_t count)
+    {
+        rangeFirst = first;
+        rangeCount = count;
+    }
+
     // --- directory-side hooks ---------------------------------------
     /**
      * TID @p t retired at @p dir. Returns false when the retirement
@@ -144,6 +158,9 @@ class InvariantChecker
     std::vector<DirState> dirs;
     const TraceRecorder *tracer;
     std::size_t historyLen;
+    /** finalize() scans directories [rangeFirst, rangeFirst+rangeCount). */
+    NodeId rangeFirst = 0;
+    std::uint32_t rangeCount;
     Result verdict;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/domain.hh"
 
 namespace tcc {
 
@@ -53,6 +54,30 @@ SystemConfig::validate() const
     }
     if (check.invariants && numProcs > 4096)
         return "invariant checker supports at most 4096 nodes";
+    if (pdes.domains > 1) {
+        if (homePolicy != HomePolicy::Interleave) {
+            return "PDES (pdes.domains > 1) requires "
+                   "HomePolicy::Interleave: first-touch home "
+                   "assignment is an artifact of the global access "
+                   "order, which a partitioned run does not have";
+        }
+        if (uses_ideal && network.idealLatency == 0) {
+            return "PDES over an ideal network needs idealLatency >= "
+                   "1: the latency is the lookahead window, and a "
+                   "zero-width window cannot make progress";
+        }
+        if (pdes.window != 0) {
+            const PdesPlan probe = computePdesPlan(
+                numProcs, pdes.domains, /*window_override=*/0,
+                uses_mesh, network.mesh, network.idealLatency);
+            if (pdes.window > probe.lookahead) {
+                return "pdes.window exceeds the network's lookahead: "
+                       "widening the window past the minimum "
+                       "cross-domain latency would deliver messages "
+                       "late (a causality violation)";
+            }
+        }
+    }
     return {};
 }
 
@@ -98,6 +123,11 @@ System::System(const SystemConfig &cfg)
     // otherwise emit every NetDeliver twice.
     net->setTraceRecorder(&tracer);
 
+    if (cfg.pdes.domains > 1)
+        buildPdes(); // leaves pdesState null if the partition collapses
+    if (pdesState)
+        return;
+
     if (cfg.check.invariants) {
         invariants = std::make_unique<InvariantChecker>(
             cfg.numProcs, &tracer, cfg.check.invariantHistory);
@@ -137,6 +167,92 @@ System::System(const SystemConfig &cfg)
                 });
         }
         net->connect(n, [this, n](const Message &msg) {
+            dispatch(n, msg);
+        });
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildPdes()
+{
+    const NetworkConfig &nc = config.network;
+    const bool mesh_based =
+        nc.model == NetworkConfig::Model::Mesh ||
+        (nc.model == NetworkConfig::Model::Chaos &&
+         !nc.chaos.overIdeal);
+    PdesPlan plan = computePdesPlan(config.numProcs,
+                                    config.pdes.domains,
+                                    config.pdes.window, mesh_based,
+                                    nc.mesh, nc.idealLatency);
+    if (plan.domains.size() < 2)
+        return; // partition collapsed (tiny machine): serial engine
+
+    pdesState = std::make_unique<PdesState>(std::move(plan));
+    PdesState &st = *pdesState;
+
+    DomainNetConfig dnc;
+    dnc.meshBased = mesh_based;
+    dnc.mesh = nc.mesh;
+    dnc.idealLatency = nc.idealLatency;
+    dnc.chaos = nc.model == NetworkConfig::Model::Chaos;
+    dnc.chaosCfg = nc.chaos;
+
+    for (const DomainSpec &spec : st.plan.domains) {
+        auto d = std::make_unique<PdesDomain>(spec,
+                                              config.trace.capacity);
+        d->net = std::make_unique<DomainNet>(
+            d->eq, config.numProcs, spec, st.plan, dnc, &d->arena);
+        d->net->setTraceRecorder(&d->tracer);
+        if (config.check.invariants) {
+            d->checker = std::make_unique<InvariantChecker>(
+                config.numProcs, &d->tracer,
+                config.check.invariantHistory);
+            d->checker->setNodeRange(spec.firstNode, spec.numNodes);
+        }
+        st.domains.push_back(std::move(d));
+    }
+
+    // The TID vendor lives in the domain owning node 0.
+    PdesDomain &d0 = *st.domains[st.plan.nodeDomain[0]];
+    tidVendor = std::make_unique<TidVendor>(0, d0.eq, *d0.net,
+                                            config.tidVendorLatency);
+
+    DirectoryConfig dir_cfg = config.directory;
+    dir_cfg.lineBytes = config.cache.lineBytes;
+    dir_cfg.writeThroughCommit = config.writeThroughCommit;
+    ProcessorConfig proc_cfg = config.processor;
+    proc_cfg.writeThroughCommit = config.writeThroughCommit;
+    for (NodeId n = 0; n < config.numProcs; ++n) {
+        PdesDomain *d = st.domains[st.plan.nodeDomain[n]].get();
+        dirs.push_back(std::make_unique<Directory>(
+            n, config.numProcs, d->eq, *d->net, dir_cfg, &d->arena));
+        procs.push_back(std::make_unique<TccProcessor>(
+            n, config.numProcs, d->eq, *d->net, homes, d->store,
+            config.cache, proc_cfg, /*vendor_node=*/0, &d->arena));
+        dirs.back()->setTraceRecorder(&d->tracer);
+        procs.back()->setTraceRecorder(&d->tracer);
+        dirs.back()->setInvariantChecker(d->checker.get());
+        procs.back()->setInvariantChecker(d->checker.get());
+        // Cross-domain effects defer to the window barrier: arrivals
+        // and done-hooks buffer in the domain, and the coordinator
+        // merges them in domain-id order between windows.
+        procs.back()->setBarrier(
+            [d](NodeId node, std::function<void()> resume) {
+                d->barrierArrivals.emplace_back(node,
+                                                std::move(resume));
+            });
+        procs.back()->setDoneHook([d]() { ++d->newlyDone; });
+        if (config.check.serial) {
+            procs.back()->setCommitHook(
+                [d](Tid tid, NodeId proc, const auto &reads,
+                    const auto &writes) {
+                    d->commits.push_back(PdesDomain::CommitRec{
+                        tid, proc, reads, writes});
+                });
+        }
+        d->net->connect(n, [this, n](const Message &msg) {
             dispatch(n, msg);
         });
     }
@@ -221,6 +337,9 @@ System::checkBarrierRelease()
 RunResult
 System::run(Tick max_ticks)
 {
+    if (pdesState)
+        return runPdes(max_ticks);
+
     for (auto &p : procs)
         p->start();
 
@@ -238,6 +357,30 @@ System::run(Tick max_ticks)
     const bool halted_on_failure = invariants && invariants->failed();
     const bool hit_tick_limit = !eventq.empty() && !halted_on_failure;
 
+    populateRunStats(res, eventq.now());
+
+    if (config.check.serial) {
+        res.serial.checked = true;
+        const SerialChecker::Result v = serialChecker.verify();
+        res.serial.ok = v.ok;
+        res.serial.error = v.error;
+        res.serial.checks = v.txnsChecked;
+    }
+    if (invariants) {
+        invariants->finalize(tidVendor->issued(), res.completed,
+                             hit_tick_limit);
+        res.invariants.checked = true;
+        const InvariantChecker::Result &v = invariants->result();
+        res.invariants.ok = v.ok;
+        res.invariants.error = v.error;
+        res.invariants.checks = v.checks;
+    }
+    return res;
+}
+
+void
+System::populateRunStats(RunResult &res, Tick fallback_now)
+{
     bool all_done = true;
     Tick end = 0;
     for (auto &p : procs) {
@@ -247,7 +390,7 @@ System::run(Tick max_ticks)
             end = std::max(end, p->doneTick());
     }
     res.completed = all_done;
-    res.cycles = all_done ? end : eventq.now();
+    res.cycles = all_done ? end : fallback_now;
 
     // Early finishers idle until the last processor completes.
     if (all_done) {
@@ -285,22 +428,148 @@ System::run(Tick max_ticks)
         res.dirs.push_back(ds);
     }
     res.quiesced = protocolQuiesced();
+}
+
+void
+System::pdesBarrierPhase(Tick at)
+{
+    PdesState &st = *pdesState;
+    for (auto &d : st.domains) {
+        doneProcs += d->newlyDone;
+        d->newlyDone = 0;
+        for (auto &w : d->barrierArrivals)
+            barrierWaiters.push_back(std::move(w));
+        d->barrierArrivals.clear();
+    }
+    const std::uint32_t active = config.numProcs - doneProcs;
+    if (active != 0 && barrierWaiters.size() < active)
+        return;
+    auto waiters = std::move(barrierWaiters);
+    barrierWaiters.clear();
+    for (auto &[node, resume] : waiters) {
+        PdesDomain &d = *st.domains[st.plan.nodeDomain[node]];
+        d.eq.scheduleAt(at, [fn = std::move(resume)]() { fn(); });
+    }
+}
+
+RunResult
+System::runPdes(Tick max_ticks)
+{
+    PdesState &st = *pdesState;
+    RunResult res;
+    const std::uint32_t num_domains =
+        static_cast<std::uint32_t>(st.domains.size());
+    std::uint32_t jobs =
+        config.pdes.jobs == 0 ? num_domains : config.pdes.jobs;
+    jobs = std::max(1u, std::min(jobs, num_domains));
+    res.pdes.domains = num_domains;
+    res.pdes.jobs = jobs;
+    res.pdes.lookahead = st.plan.lookahead;
+
+    // Seed every replica from the master store (initializeWord state),
+    // then kick the sources off on their domains' queues.
+    for (auto &d : st.domains)
+        d->store.copyFrom(store);
+    for (auto &p : procs)
+        p->start();
+
+    WindowCrew crew(jobs, [&st, num_domains, jobs](unsigned w) {
+        for (std::uint32_t i = w; i < num_domains; i += jobs)
+            st.domains[i]->eq.runUntil(st.curLimit);
+    });
+
+    const Tick lookahead = st.plan.lookahead;
+    Tick window_start = 0;
+    bool halted = false;
+    for (;;) {
+        const Tick next = st.earliestEvent();
+        if (next == kTickMax)
+            break; // drained: every queue and mailbox is empty
+        if (next > max_ticks)
+            break; // remaining work is beyond the tick limit
+        // Idle gaps (e.g. everyone waiting out a commit) fast-forward
+        // the window: windows must be contiguous and at most one
+        // lookahead wide, not aligned to a global grid.
+        window_start = std::max(window_start, next);
+        const Tick window_end = window_start > kTickMax - lookahead
+                                    ? kTickMax
+                                    : window_start + lookahead;
+        st.curLimit = std::min(window_end - 1, max_ticks);
+        crew.runPhase();
+        ++res.pdes.windows;
+        // Barrier: the coordinator exchanges cross-domain effects in
+        // canonical domain-id order - messages, store writes, SPMD
+        // barrier arrivals - making them visible next window.
+        res.pdes.mailboxMessages += st.flushMailboxes(window_end);
+        st.applyStoreLogs();
+        pdesBarrierPhase(window_end);
+        if (config.check.invariants) {
+            for (auto &d : st.domains) {
+                if (d->checker->failed()) {
+                    halted = true; // stop at the window boundary
+                    break;
+                }
+            }
+        }
+        if (halted)
+            break;
+        window_start = window_end;
+    }
+    const bool hit_tick_limit = !halted && st.earliestEvent() != kTickMax;
+
+    for (auto &d : st.domains)
+        res.events += d->eq.executed();
+    // All replicas are convergent (every write log was applied
+    // everywhere); adopt one as the master committed state.
+    store.copyFrom(st.domains[0]->store);
+    // Fold the domain shims' traffic into the System-level network and
+    // the domain trace rings into the System ring, canonically.
+    for (auto &d : st.domains)
+        net->accumulateStats(d->net->stats());
+    st.mergeTraces(tracer);
+
+    populateRunStats(res, window_start);
 
     if (config.check.serial) {
+        // The oracle replays in TID order regardless of record order;
+        // merge the per-domain buffers in TID order for determinism.
+        std::vector<const PdesDomain::CommitRec *> all;
+        for (auto &d : st.domains) {
+            for (const auto &c : d->commits)
+                all.push_back(&c);
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const PdesDomain::CommitRec *a,
+                     const PdesDomain::CommitRec *b) {
+                      return a->tid < b->tid;
+                  });
+        for (const PdesDomain::CommitRec *c : all)
+            serialChecker.record(c->tid, c->proc, c->reads, c->writes);
         res.serial.checked = true;
         const SerialChecker::Result v = serialChecker.verify();
         res.serial.ok = v.ok;
         res.serial.error = v.error;
         res.serial.checks = v.txnsChecked;
     }
-    if (invariants) {
-        invariants->finalize(tidVendor->issued(), all_done,
-                             hit_tick_limit);
+    if (config.check.invariants) {
         res.invariants.checked = true;
-        const InvariantChecker::Result &v = invariants->result();
-        res.invariants.ok = v.ok;
-        res.invariants.error = v.error;
-        res.invariants.checks = v.checks;
+        // On a halt the failing verdict is already recorded; running
+        // the completeness pass would bury it under the (expected)
+        // incompleteness of the aborted run.
+        if (!halted) {
+            for (auto &d : st.domains) {
+                d->checker->finalize(tidVendor->issued(),
+                                     res.completed, hit_tick_limit);
+            }
+        }
+        for (auto &d : st.domains) {
+            const InvariantChecker::Result &v = d->checker->result();
+            res.invariants.checks += v.checks;
+            if (res.invariants.ok && !v.ok) {
+                res.invariants.ok = false;
+                res.invariants.error = v.error;
+            }
+        }
     }
     return res;
 }

@@ -82,6 +82,25 @@ struct TraceConfig {
     std::size_t capacity = TraceRecorder::kDefaultCapacity;
 };
 
+/**
+ * Conservative parallel single-run execution (sim/domain.hh,
+ * DESIGN.md section 11). With domains >= 2 the run executes in the
+ * barrier-synchronous PDES engine; otherwise the legacy serial engine
+ * runs unchanged. Results depend on the (effective) domain count but
+ * never on jobs: any jobs value produces bit-identical RunResults.
+ */
+struct PdesConfig {
+    /** Requested domain count; clamped to the mesh row count (or the
+     *  node count on an ideal network). 0 or 1 = serial engine. */
+    std::uint32_t domains = 0;
+    /** Worker threads driving the domains; clamped to the domain
+     *  count. 0 = one thread per domain. Purely a throughput knob. */
+    std::uint32_t jobs = 0;
+    /** Optional window-width override in [1, lookahead] cycles;
+     *  0 = use the derived lookahead. */
+    Tick window = 0;
+};
+
 /** Full system configuration (defaults follow the paper's Table 2). */
 struct SystemConfig {
     std::uint32_t numProcs = 8;
@@ -101,6 +120,8 @@ struct SystemConfig {
     CheckConfig check;
     /** Protocol trace ring. */
     TraceConfig trace;
+    /** Parallel single-run execution (off by default). */
+    PdesConfig pdes;
 
     /** Sanity-check the configuration. Returns an empty string when
      *  the config is usable, else a description of the first problem.
@@ -193,15 +214,30 @@ struct RunResult {
     /** Online invariant-checker verdict (armed via check.invariants). */
     CheckVerdict invariants;
 
+    /** PDES execution statistics (all zero for serial-engine runs).
+     *  Everything except `jobs` is part of the deterministic result;
+     *  `jobs` records the thread count actually used. */
+    struct PdesRunStats {
+        std::uint32_t domains = 0;
+        std::uint32_t jobs = 0;
+        Tick lookahead = 0;
+        std::uint64_t windows = 0;
+        std::uint64_t mailboxMessages = 0;
+    };
+    PdesRunStats pdes;
+
     /** Both armed checkers came back clean. */
     bool checksPassed() const { return serial.ok && invariants.ok; }
 };
+
+struct PdesState; // sim/domain.hh (PDES engine internals)
 
 /** A complete Scalable TCC machine. */
 class System
 {
   public:
     explicit System(const SystemConfig &cfg);
+    ~System();
 
     System(const System &) = delete;
     System &operator=(const System &) = delete;
@@ -281,6 +317,17 @@ class System
     void barrierArrive(NodeId node, std::function<void()> resume);
     void checkBarrierRelease();
 
+    // --- PDES engine (sim/domain.hh; DESIGN.md section 11) ----------
+    void buildPdes();
+    RunResult runPdes(Tick max_ticks);
+    /** Collect deferred done-hooks and barrier arrivals; release the
+     *  SPMD barrier (if complete) at tick @p at. */
+    void pdesBarrierPhase(Tick at);
+    /** Completion, idle accounting, breakdown, per-node stats, and
+     *  quiescence - shared by both engines. @p fallback_now stands in
+     *  for "current time" when the run did not complete. */
+    void populateRunStats(RunResult &res, Tick fallback_now);
+
     SystemConfig config;
     /**
      * Run-private memory for every component below. Declared FIRST
@@ -298,6 +345,10 @@ class System
     SerialChecker serialChecker;
     /** Online protocol-invariant checker (armed via check.invariants). */
     std::unique_ptr<InvariantChecker> invariants;
+    /** PDES engine state (null in serial-engine systems). Declared
+     *  before the vendor, directories, and processors: in PDES mode
+     *  those are wired to the domains' queues, networks, and arenas. */
+    std::unique_ptr<PdesState> pdesState;
     std::unique_ptr<TidVendor> tidVendor;
     std::vector<std::unique_ptr<Directory>> dirs;
     std::vector<std::unique_ptr<TccProcessor>> procs;

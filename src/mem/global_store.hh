@@ -17,6 +17,8 @@
 #define TCC_MEM_GLOBAL_STORE_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/flat_map.hh"
 #include "common/types.hh"
@@ -27,6 +29,11 @@ namespace tcc {
 class GlobalStore
 {
   public:
+    /** (word-aligned address, value) records of every write() since
+     *  the log was attached; PDES domains broadcast these at window
+     *  barriers to keep replicas convergent (sim/domain.hh). */
+    using WriteLog = std::vector<std::pair<Addr, std::uint64_t>>;
+
     /** @param arena backs the word map (nullptr = global heap). */
     explicit GlobalStore(Arena *arena = nullptr) : words(arena) {}
 
@@ -42,7 +49,26 @@ class GlobalStore
     void
     write(Addr addr, std::uint64_t value)
     {
-        words[wordAlign(addr)] = value;
+        const Addr a = wordAlign(addr);
+        words[a] = value;
+        if (writeLog != nullptr)
+            writeLog->emplace_back(a, value);
+    }
+
+    /** Write without logging (replica log replay; @p addr must already
+     *  be word-aligned, as log records are). */
+    void apply(Addr addr, std::uint64_t value) { words[addr] = value; }
+
+    /** Record every subsequent write() into @p log (nullptr detaches). */
+    void setWriteLog(WriteLog *log) { writeLog = log; }
+
+    /** Replace the contents with a copy of @p other (replica seeding). */
+    void
+    copyFrom(const GlobalStore &other)
+    {
+        words.clear();
+        for (const auto &kv : other.words)
+            words[kv.first] = kv.second;
     }
 
     /** Number of distinct words ever written. */
@@ -56,6 +82,8 @@ class GlobalStore
   private:
     /** Open-addressing map: read() is on the per-access hot path. */
     FlatMap<Addr, std::uint64_t> words;
+    /** Optional write log (PDES replica synchronization). */
+    WriteLog *writeLog = nullptr;
 };
 
 } // namespace tcc

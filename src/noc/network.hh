@@ -44,6 +44,22 @@ struct NetworkStats {
             nodeBytes[msg.dst] += msg.bytes;
         totalHops += hops;
     }
+
+    /** Fold another endpoint's counters into this one (PDES domain
+     *  shims merge into the System-level network at finalize). */
+    void
+    merge(const NetworkStats &o)
+    {
+        messages += o.messages;
+        totalBytes += o.totalBytes;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(TrafficClass::NumClasses); ++i)
+            classBytes[i] += o.classBytes[i];
+        for (std::size_t n = 0;
+             n < nodeBytes.size() && n < o.nodeBytes.size(); ++n)
+            nodeBytes[n] += o.nodeBytes[n];
+        totalHops += o.totalHops;
+    }
 };
 
 /**
@@ -99,7 +115,40 @@ class Network
     /** Attach the System's protocol event ring (may be null). */
     void setTraceRecorder(TraceRecorder *rec) { tracer = rec; }
 
+    /**
+     * PDES plumbing: deliver @p msg at absolute tick @p when without
+     * accounting stats or emitting NetSend - the sending domain's shim
+     * already did both when the message entered its mailbox. Called by
+     * the window coordinator on the destination domain's shim
+     * (sim/domain.hh); NetDeliver is still emitted at dispatch.
+     */
+    void
+    deliverAt(Message msg, Tick when)
+    {
+        Message *slot = msgPool.alloc(std::move(msg));
+        eventq.scheduleAt(when, [this, slot]() { dispatch(slot); });
+    }
+
+    /** PDES plumbing: fold a domain shim's traffic counters into this
+     *  network's (the System-level report reads one stats object). */
+    void accumulateStats(const NetworkStats &s) { netStats.merge(s); }
+
   protected:
+    /** Stats + NetSend trace for one send (delivery handled by the
+     *  caller: either deliver() below or a PDES mailbox). */
+    void
+    accountSend(const Message &msg, unsigned hops)
+    {
+        netStats.account(msg, hops);
+        traceEmit(tracer, TraceCat::Net, TraceEventKind::NetSend,
+                  msg.src, msg.tid, msg.addr,
+                  packNetInfo(msg.dst,
+                              static_cast<std::uint8_t>(msg.type),
+                              static_cast<std::uint8_t>(
+                                  trafficClassOf(msg.type)),
+                              msg.bytes));
+    }
+
     /**
      * Deliver @p msg at now + @p delay and account @p hops. The message
      * is parked in a pooled slab for the flight; the deliver event only
@@ -111,14 +160,7 @@ class Network
     void
     deliver(Message msg, Tick delay, unsigned hops)
     {
-        netStats.account(msg, hops);
-        traceEmit(tracer, TraceCat::Net, TraceEventKind::NetSend,
-                  msg.src, msg.tid, msg.addr,
-                  packNetInfo(msg.dst,
-                              static_cast<std::uint8_t>(msg.type),
-                              static_cast<std::uint8_t>(
-                                  trafficClassOf(msg.type)),
-                              msg.bytes));
+        accountSend(msg, hops);
         Message *slot = msgPool.alloc(std::move(msg));
         eventq.schedule(delay, [this, slot]() { dispatch(slot); });
     }

@@ -69,4 +69,22 @@ TraceRecorder::push(TraceEventKind kind, NodeId node, Tid tid,
     ++total;
 }
 
+void
+TraceRecorder::pushRaw(const TraceEvent &src)
+{
+    if (buf == nullptr) {
+        if (arena != nullptr) {
+            buf = static_cast<TraceEvent *>(arena->allocate(
+                cap * sizeof(TraceEvent), alignof(TraceEvent)));
+        } else {
+            buf = static_cast<TraceEvent *>(::operator new(
+                cap * sizeof(TraceEvent),
+                std::align_val_t{alignof(TraceEvent)}));
+            heapStorage = true;
+        }
+    }
+    buf[static_cast<std::size_t>(total % cap)] = src;
+    ++total;
+}
+
 } // namespace tcc

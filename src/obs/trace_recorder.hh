@@ -163,6 +163,11 @@ class TraceRecorder
     void push(TraceEventKind kind, NodeId node, Tid tid,
               std::uint64_t arg0, std::uint64_t arg1);
 
+    /** Append a pre-built record verbatim, keeping its original tick
+     *  (PDES merges per-domain rings into the System ring at finalize
+     *  in canonical (tick, domain) order; see sim/domain.hh). */
+    void pushRaw(const TraceEvent &src);
+
     /** Total events emitted, including any lost to ring wrap. */
     std::uint64_t captured() const { return total; }
 

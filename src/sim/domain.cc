@@ -1,0 +1,360 @@
+#include "sim/domain.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tcc {
+
+namespace {
+
+/** Smallest near-square grid that holds @p n nodes (must match
+ *  MeshNetwork's construction-time choice, noc/network.cc). */
+std::uint32_t
+gridSideOf(std::uint32_t n)
+{
+    std::uint32_t c = 1;
+    while (c * c < n)
+        ++c;
+    return c;
+}
+
+enum Dir : unsigned { East = 0, West = 1, North = 2, South = 3 };
+
+/** Decorrelate one seeded stream per domain. */
+std::uint64_t
+domainSeed(std::uint64_t seed, std::uint32_t domain)
+{
+    return seed + 0x9E3779B97F4A7C15ull * (domain + 1);
+}
+
+} // namespace
+
+PdesPlan
+computePdesPlan(std::uint32_t num_procs, std::uint32_t requested_domains,
+                Tick window_override, bool mesh_based,
+                const MeshConfig &mesh, Tick ideal_latency)
+{
+    PdesPlan plan;
+    plan.meshBased = mesh_based;
+    std::uint32_t d = std::max<std::uint32_t>(1, requested_domains);
+    if (mesh_based) {
+        const std::uint32_t cols = gridSideOf(num_procs);
+        const std::uint32_t rows = (num_procs + cols - 1) / cols;
+        plan.gridCols = cols;
+        plan.gridRows = rows;
+        d = std::min(d, rows);
+        plan.rowDomain.assign(rows, 0);
+        for (std::uint32_t i = 0; i < d; ++i) {
+            const std::uint32_t r0 = i * rows / d;
+            const std::uint32_t r1 = (i + 1) * rows / d;
+            for (std::uint32_t r = r0; r < r1; ++r)
+                plan.rowDomain[r] = i;
+            const NodeId first = r0 * cols;
+            const NodeId end =
+                std::min<NodeId>(r1 * cols, num_procs);
+            plan.domains.push_back(DomainSpec{i, first, end - first});
+        }
+        // Minimum cross-domain latency: one link crossing at least -
+        // router in, >= 1 cycle serialization, the hop, router out.
+        plan.lookahead = 2 * mesh.routerDelay + mesh.hopLatency + 1;
+    } else {
+        d = std::min(d, num_procs);
+        for (std::uint32_t i = 0; i < d; ++i) {
+            const NodeId first = i * num_procs / d;
+            const NodeId end = (i + 1) * num_procs / d;
+            plan.domains.push_back(DomainSpec{i, first, end - first});
+        }
+        plan.lookahead = std::max<Tick>(1, ideal_latency);
+    }
+    if (window_override != 0 && window_override < plan.lookahead)
+        plan.lookahead = window_override;
+    plan.nodeDomain.assign(num_procs, 0);
+    for (const DomainSpec &s : plan.domains) {
+        for (NodeId n = s.firstNode; n < s.firstNode + s.numNodes; ++n)
+            plan.nodeDomain[n] = s.id;
+    }
+    return plan;
+}
+
+DomainNet::DomainNet(EventQueue &eq_, std::uint32_t num_nodes,
+                     const DomainSpec &spec_, const PdesPlan &plan_,
+                     const DomainNetConfig &cfg, Arena *arena)
+    : Network(eq_, num_nodes, arena), outbox(plan_.domains.size()),
+      spec(spec_), plan(plan_), config(cfg),
+      jitterRng(domainSeed(cfg.mesh.seed, spec_.id)),
+      chaosRng(domainSeed(cfg.chaosCfg.seed, spec_.id)),
+      dupPool(arena)
+{
+    if (config.meshBased) {
+        if (config.mesh.linkBytesPerCycle == 0)
+            fatal("mesh linkBytesPerCycle must be nonzero");
+        linkFree.assign(static_cast<std::size_t>(plan.gridCols) *
+                            plan.gridRows * 4,
+                        0);
+    }
+}
+
+void
+DomainNet::send(Message msg)
+{
+    if (msg.src >= numNodes() || msg.dst >= numNodes())
+        panic("domain send with bad endpoint %u->%u", msg.src, msg.dst);
+    if (config.chaos && config.chaosCfg.duplicateProb > 0.0 &&
+        chaosDuplicable(msg.type) &&
+        chaosRng.chance(config.chaosCfg.duplicateProb)) {
+        // The copy re-routes duplicateLag cycles later with fresh
+        // draws, so it and the original contend and jitter
+        // independently (mirrors ChaosNetwork::send).
+        Message *slot = dupPool.alloc(msg);
+        eventq.schedule(config.chaosCfg.duplicateLag, [this, slot]() {
+            route(*slot);
+            dupPool.free(slot);
+        });
+    }
+    route(std::move(msg));
+}
+
+void
+DomainNet::route(Message msg)
+{
+    unsigned hops = 1;
+    Tick delay;
+    if (config.meshBased)
+        delay = meshDelay(msg, hops);
+    else
+        delay = config.idealLatency;
+    if (config.chaos)
+        delay += chaosExtra();
+    const std::uint32_t dst_dom = plan.nodeDomain[msg.dst];
+    if (dst_dom == spec.id) {
+        deliver(std::move(msg), delay, hops);
+        return;
+    }
+    accountSend(msg, hops);
+    ++crossCount;
+    outbox[dst_dom].push_back(Parcel{std::move(msg),
+                                     eventq.now() + delay});
+}
+
+Tick
+DomainNet::meshDelay(const Message &msg, unsigned &hops)
+{
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
+    hops = 0;
+    if (src == dst)
+        return 1; // local loopback: one-cycle turnaround
+
+    const MeshConfig &m = config.mesh;
+    const Tick ser = std::max<Tick>(
+        1, (msg.bytes + m.linkBytesPerCycle - 1) / m.linkBytesPerCycle);
+
+    // Walk the XY route exactly as MeshNetwork does, except that only
+    // links owned by this domain (by source grid row) model contention
+    // through linkFree; foreign links contribute the uncontended
+    // crossing cost without touching shared state.
+    Tick t = eventq.now() + m.routerDelay;
+    int x = static_cast<int>(src % plan.gridCols);
+    int y = static_cast<int>(src / plan.gridCols);
+    const int dx = static_cast<int>(dst % plan.gridCols);
+    const int dy = static_cast<int>(dst / plan.gridCols);
+    NodeId cur = src;
+
+    auto cross = [&](unsigned dir, NodeId next) {
+        if (plan.rowDomain[cur / plan.gridCols] == spec.id) {
+            const std::size_t li =
+                static_cast<std::size_t>(cur) * 4 + dir;
+            const Tick depart = std::max(t, linkFree[li]);
+            linkFree[li] = depart + ser;
+            t = depart + ser + m.hopLatency + m.routerDelay;
+        } else {
+            t += ser + m.hopLatency + m.routerDelay;
+        }
+        cur = next;
+        ++hops;
+    };
+
+    while (x != dx) {
+        if (x < dx) {
+            cross(East, cur + 1);
+            ++x;
+        } else {
+            cross(West, cur - 1);
+            --x;
+        }
+    }
+    while (y != dy) {
+        if (y < dy) {
+            cross(South, cur + plan.gridCols);
+            ++y;
+        } else {
+            cross(North, cur - plan.gridCols);
+            --y;
+        }
+    }
+
+    Tick delay = t - eventq.now();
+    if (m.reorderJitter > 0)
+        delay += jitterRng.below(m.reorderJitter + 1);
+    return delay;
+}
+
+Tick
+DomainNet::chaosExtra()
+{
+    const ChaosConfig &c = config.chaosCfg;
+    Tick extra = c.jitter != 0 ? chaosRng.below(c.jitter + 1) : 0;
+    if (c.reorderProb > 0.0 && chaosRng.chance(c.reorderProb)) {
+        if (c.reorderWindow != 0)
+            extra += chaosRng.below(c.reorderWindow + 1);
+    }
+    return extra;
+}
+
+WindowCrew::WindowCrew(unsigned jobs, std::function<void(unsigned)> body)
+    : n(jobs == 0 ? 1 : jobs), work(std::move(body))
+{
+    if (n == 1)
+        return;
+    threads.reserve(n);
+    for (unsigned w = 0; w < n; ++w) {
+        threads.emplace_back([this, w]() {
+            std::uint64_t seen = 0;
+            for (;;) {
+                {
+                    std::unique_lock<std::mutex> lk(mtx);
+                    cvStart.wait(lk, [&]() {
+                        return stopping || gen != seen;
+                    });
+                    if (stopping)
+                        return;
+                    seen = gen;
+                }
+                try {
+                    work(w);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(mtx);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+                {
+                    std::lock_guard<std::mutex> lk(mtx);
+                    if (--running == 0)
+                        cvDone.notify_one();
+                }
+            }
+        });
+    }
+}
+
+WindowCrew::~WindowCrew()
+{
+    if (n == 1)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+WindowCrew::runPhase()
+{
+    if (n == 1) {
+        work(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++gen;
+        running = n;
+    }
+    cvStart.notify_all();
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&]() { return running == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+Tick
+PdesState::earliestEvent() const
+{
+    Tick next = kTickMax;
+    for (const auto &d : domains)
+        next = std::min(next, d->eq.nextWhen());
+    return next;
+}
+
+std::uint64_t
+PdesState::flushMailboxes(Tick window_end)
+{
+    std::uint64_t moved = 0;
+    for (auto &src : domains) {
+        auto &out = src->net->outbox;
+        for (std::size_t t = 0; t < out.size(); ++t) {
+            for (DomainNet::Parcel &p : out[t]) {
+                if (p.when < window_end) {
+                    panic("PDES lookahead violated: cross-domain "
+                          "message %u->%u arrives at %llu inside the "
+                          "window ending at %llu",
+                          p.msg.src, p.msg.dst,
+                          (unsigned long long)p.when,
+                          (unsigned long long)window_end);
+                }
+                domains[t]->net->deliverAt(std::move(p.msg), p.when);
+                ++moved;
+            }
+            out[t].clear();
+        }
+    }
+    return moved;
+}
+
+void
+PdesState::applyStoreLogs()
+{
+    for (auto &src : domains) {
+        if (src->storeLog.empty())
+            continue;
+        for (auto &dst : domains) {
+            for (const auto &w : src->storeLog)
+                dst->store.apply(w.first, w.second);
+        }
+        src->storeLog.clear();
+    }
+}
+
+void
+PdesState::mergeTraces(TraceRecorder &into) const
+{
+    std::vector<std::size_t> idx(domains.size(), 0);
+    for (;;) {
+        std::size_t pick = domains.size();
+        Tick best = kTickMax;
+        for (std::size_t d = 0; d < domains.size(); ++d) {
+            const TraceRecorder &ring = domains[d]->tracer;
+            if (idx[d] >= ring.size())
+                continue;
+            const Tick tick = ring.at(idx[d]).tick;
+            // Strict < keeps equal ticks in domain-id order.
+            if (pick == domains.size() || tick < best) {
+                pick = d;
+                best = tick;
+            }
+        }
+        if (pick == domains.size())
+            break;
+        into.pushRaw(domains[pick]->tracer.at(idx[pick]++));
+    }
+}
+
+} // namespace tcc

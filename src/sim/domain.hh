@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Conservative parallel discrete-event execution (PDES) of one System
+ * run: domains, the per-domain network shim, and the window crew.
+ *
+ * The simulated machine is partitioned into per-worker *domains*, each
+ * owning a private arena, EventQueue, GlobalStore replica, trace ring,
+ * and network endpoint shim for a contiguous NodeId range. All domains
+ * advance in lockstep windows of width equal to the minimum
+ * cross-domain message latency (the conservative lookahead): within a
+ * window every domain executes its own events with no locks and no
+ * shared mutable state; at the window barrier a single coordinator
+ * exchanges the buffered cross-domain effects in a canonical order
+ * (mailbox parcels, store write logs, SPMD barrier arrivals) and the
+ * next window begins.
+ *
+ * Determinism contract: a PDES run is a pure function of
+ * (SystemConfig, seeds, domain count). The worker-thread count only
+ * decides which OS thread executes a domain's window - it never
+ * reorders events, randomness draws, or barrier-phase merges - so
+ * jobs=1 and jobs=N produce bit-identical RunResults by construction.
+ * PDES is its own execution model, distinct from the legacy serial
+ * engine (which remains byte-for-byte unchanged): cross-domain values
+ * and messages become visible at window granularity, so fingerprints
+ * are comparable across jobs counts and domain counts are part of the
+ * model, not across engines. See DESIGN.md section 11.
+ *
+ * Lookahead derivation (DESIGN.md section 11.2): every cross-domain
+ * message crosses at least one mesh link, so its end-to-end latency is
+ * at least routerDelay + serialization(>=1) + hopLatency + routerDelay;
+ * jitter, chaos delays, and link contention only ever add to that. On
+ * an ideal network the latency is exactly idealLatency. Messages sent
+ * inside window [W, W+L) therefore always arrive at or after W+L, and
+ * parking them in a mailbox until the barrier loses nothing.
+ */
+
+#ifndef TCC_SIM_DOMAIN_HH
+#define TCC_SIM_DOMAIN_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/invariant_checker.hh"
+#include "common/arena.hh"
+#include "common/types.hh"
+#include "mem/global_store.hh"
+#include "noc/chaos_network.hh"
+#include "noc/network.hh"
+#include "obs/trace_recorder.hh"
+#include "sim/event_queue.hh"
+#include "sim/pool.hh"
+#include "sim/random.hh"
+
+namespace tcc {
+
+/** One domain's slice of the machine: a contiguous NodeId range. */
+struct DomainSpec {
+    std::uint32_t id = 0;
+    NodeId firstNode = 0;
+    std::uint32_t numNodes = 0;
+};
+
+/**
+ * The partition: domain specs, node/row ownership maps, and the
+ * lookahead window width. Computed once per System by
+ * computePdesPlan() and shared read-only by every domain.
+ */
+struct PdesPlan {
+    std::vector<DomainSpec> domains;
+    /** Window width in cycles (the conservative lookahead). */
+    Tick lookahead = 1;
+    /** Mesh-based transport (Mesh, or Chaos over a mesh). */
+    bool meshBased = false;
+    std::uint32_t gridCols = 0;
+    std::uint32_t gridRows = 0;
+    /** NodeId -> owning domain (size numProcs). */
+    std::vector<std::uint32_t> nodeDomain;
+    /** Mesh row -> owning domain (size gridRows; covers the phantom
+     *  grid slots ragged node counts route through). */
+    std::vector<std::uint32_t> rowDomain;
+};
+
+/**
+ * Partition @p num_procs nodes into at most @p requested_domains
+ * domains and derive the lookahead.
+ *
+ * Mesh partitions are whole-row blocks: row-major node numbering makes
+ * each domain a contiguous NodeId range, and XY routing then crosses
+ * domains only on vertical links, so the horizontal phase of every
+ * route stays inside the sender's domain. The request is clamped to
+ * the row count (mesh) or node count (ideal): the effective domain
+ * count is a deterministic function of the topology, never of the
+ * worker count.
+ *
+ * @p window_override, when nonzero, narrows the window below the
+ * derived lookahead (it may never widen it - that would be a
+ * causality violation, and SystemConfig::validate() rejects it).
+ */
+PdesPlan computePdesPlan(std::uint32_t num_procs,
+                         std::uint32_t requested_domains,
+                         Tick window_override, bool mesh_based,
+                         const MeshConfig &mesh, Tick ideal_latency);
+
+/** Transport parameters a DomainNet needs (translated from the
+ *  System's NetworkConfig by the constructor site). */
+struct DomainNetConfig {
+    bool meshBased = true;
+    MeshConfig mesh;
+    Tick idealLatency = 1;
+    /** Chaos fault layer on top of the base transport. */
+    bool chaos = false;
+    ChaosConfig chaosCfg;
+};
+
+/**
+ * One domain's network endpoint: routes intra-domain messages through
+ * the domain's own EventQueue and parks cross-domain messages (with
+ * their already-computed arrival tick) in per-destination-domain
+ * mailboxes for the coordinator to flush at the window barrier.
+ *
+ * Mesh timing matches MeshNetwork's analytic store-and-forward model
+ * with one refinement: a directed link is owned by the domain of the
+ * row its source grid slot lies in. Owned links model contention
+ * exactly (depart at max(arrival, linkFree), then occupy the link);
+ * foreign links add the uncontended crossing cost without touching
+ * any state, keeping the window race-free. With whole-row domains and
+ * XY routing, a route's horizontal phase and its first vertical link
+ * are always owned by the sender's domain.
+ *
+ * Chaos faults draw from a per-domain Rng stream at *send* time (the
+ * serial ChaosNetwork draws jitter at delivery), so a parcel's arrival
+ * tick is final when it enters the mailbox.
+ */
+class DomainNet : public Network
+{
+  public:
+    /** A cross-domain message waiting for the window barrier. */
+    struct Parcel {
+        Message msg;
+        Tick when; ///< absolute arrival tick at the destination
+    };
+
+    DomainNet(EventQueue &eq, std::uint32_t num_nodes,
+              const DomainSpec &spec, const PdesPlan &plan,
+              const DomainNetConfig &cfg, Arena *arena = nullptr);
+
+    void send(Message msg) override;
+
+    /** Cross-domain messages parked so far (mailbox traffic stat). */
+    std::uint64_t crossMessages() const { return crossCount; }
+
+    /** Per-destination-domain mailboxes, drained by the coordinator
+     *  (PdesState::flushMailboxes) between windows. */
+    std::vector<std::vector<Parcel>> outbox;
+
+  private:
+    void route(Message msg);
+    Tick meshDelay(const Message &msg, unsigned &hops);
+    Tick chaosExtra();
+
+    DomainSpec spec;
+    const PdesPlan &plan;
+    DomainNetConfig config;
+    /** Next-free tick per directed link; only owned links are touched. */
+    std::vector<Tick> linkFree;
+    Rng jitterRng;
+    Rng chaosRng;
+    /** Parking slab for lagged chaos duplicates. */
+    ObjectPool<Message> dupPool;
+    std::uint64_t crossCount = 0;
+};
+
+/**
+ * Everything one domain owns. Arena is declared first so every other
+ * member (event-queue slabs, store tables, trace ring, net pools) may
+ * point into it; members destroy in reverse order.
+ */
+struct PdesDomain {
+    PdesDomain(const DomainSpec &spec_, std::size_t trace_capacity)
+        : spec(spec_), eq(&arena), store(&arena),
+          tracer(eq, &arena, trace_capacity)
+    {
+        store.setWriteLog(&storeLog);
+    }
+
+    PdesDomain(const PdesDomain &) = delete;
+    PdesDomain &operator=(const PdesDomain &) = delete;
+
+    DomainSpec spec;
+    Arena arena;
+    EventQueue eq;
+    /** Domain-private replica of the committed memory state; writes
+     *  are logged and broadcast at the window barrier. */
+    GlobalStore store;
+    TraceRecorder tracer;
+    std::unique_ptr<DomainNet> net;
+    /** Per-domain invariant checker (nullptr unless armed); finalize
+     *  is restricted to this domain's node range. */
+    std::unique_ptr<InvariantChecker> checker;
+
+    // --- effects deferred to the window barrier ----------------------
+    /** write() records since the last barrier. */
+    GlobalStore::WriteLog storeLog;
+    /** SPMD barrier arrivals since the last barrier. */
+    std::vector<std::pair<NodeId, std::function<void()>>>
+        barrierArrivals;
+    /** Processors that drained their source since the last barrier. */
+    std::uint32_t newlyDone = 0;
+
+    /** Buffered serializability-checker commit records (merged in TID
+     *  order at finalize; replay order is TID order anyway). */
+    struct CommitRec {
+        Tid tid;
+        NodeId proc;
+        std::vector<std::pair<Addr, std::uint64_t>> reads;
+        std::vector<std::pair<Addr, std::uint64_t>> writes;
+    };
+    std::vector<CommitRec> commits;
+};
+
+/**
+ * A fixed crew of worker threads executing one parallel phase per
+ * window. Domains are assigned statically (domain d runs on worker
+ * d % jobs), and with jobs == 1 no threads are created at all - the
+ * phase body runs inline, which doubles as the reference execution
+ * the threaded runs must match bit-for-bit.
+ *
+ * Memory ordering: runPhase() publishes everything the coordinator
+ * wrote (window limit, flushed mailboxes, store replicas) to the
+ * workers through the crew mutex, and collects everything the workers
+ * wrote back the same way. TSan-clean by construction: during a phase
+ * a domain is touched by exactly one thread, and between phases only
+ * by the coordinator.
+ */
+class WindowCrew
+{
+  public:
+    /** @param jobs worker count (>= 1); @param body runs as body(w)
+     *  for each worker index w in [0, jobs) every phase. */
+    WindowCrew(unsigned jobs, std::function<void(unsigned)> body);
+    ~WindowCrew();
+
+    WindowCrew(const WindowCrew &) = delete;
+    WindowCrew &operator=(const WindowCrew &) = delete;
+
+    /** Run one phase; returns when every worker finished. Rethrows
+     *  the first exception a worker raised, if any. */
+    void runPhase();
+
+    unsigned jobs() const { return n; }
+
+  private:
+    unsigned n;
+    std::function<void(unsigned)> work;
+    std::vector<std::thread> threads;
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    std::uint64_t gen = 0;
+    unsigned running = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+/**
+ * The per-run PDES state the System drives: the plan, the domains,
+ * and the coordinator's barrier-phase operations. All methods run
+ * single-threaded between windows.
+ */
+struct PdesState {
+    explicit PdesState(PdesPlan p) : plan(std::move(p)) {}
+
+    PdesPlan plan;
+    std::vector<std::unique_ptr<PdesDomain>> domains;
+    /** Current window's inclusive execution limit (window end - 1,
+     *  clamped to max_ticks); set by the coordinator before each
+     *  phase, read by the workers. */
+    Tick curLimit = 0;
+
+    /** Earliest pending event across all domains (kTickMax if none). */
+    Tick earliestEvent() const;
+
+    /**
+     * Move every parked parcel to its destination domain's queue, in
+     * canonical (source domain, destination domain, FIFO) order.
+     * Panics if a parcel would arrive before @p window_end - that
+     * would mean the lookahead bound is wrong.
+     * @return parcels moved.
+     */
+    std::uint64_t flushMailboxes(Tick window_end);
+
+    /**
+     * Broadcast every domain's store write log to every replica
+     * (including the writer's own - replaying identical values keeps
+     * all replicas convergent), in domain-id order, then clear the
+     * logs. Writes to the same word from different domains in one
+     * window resolve deterministically: highest domain id wins.
+     */
+    void applyStoreLogs();
+
+    /** Merge the per-domain trace rings into @p into, ordered by
+     *  (tick, domain id); within a domain, ring order is kept. */
+    void mergeTraces(TraceRecorder &into) const;
+};
+
+} // namespace tcc
+
+#endif // TCC_SIM_DOMAIN_HH

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests for the conservative PDES engine (sim/domain.hh): partitioner
+ * properties, the window-barrier message-ordering contract, and the
+ * determinism gate - a PDES run is a pure function of (config, seeds,
+ * domain count), never of the worker-thread count. A chaos section
+ * replays every fault preset across jobs counts. Built under
+ * -DTCC_TSAN=ON this file is also the data-race gate for the
+ * parallel path (jobs >= 2 spawns real threads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/domain.hh"
+#include "workload/synthetic_app.hh"
+
+namespace tcc {
+namespace {
+
+// --- partitioner properties -----------------------------------------
+
+PdesPlan
+meshPlan(std::uint32_t procs, std::uint32_t domains,
+         Tick window_override = 0, MeshConfig mesh = MeshConfig{})
+{
+    return computePdesPlan(procs, domains, window_override,
+                           /*mesh_based=*/true, mesh, /*ideal=*/1);
+}
+
+PdesPlan
+idealPlan(std::uint32_t procs, std::uint32_t domains, Tick latency)
+{
+    return computePdesPlan(procs, domains, 0, /*mesh_based=*/false,
+                           MeshConfig{}, latency);
+}
+
+TEST(PdesPartition, EveryNodeInExactlyOneDomain)
+{
+    // Square, ragged, and tiny node counts; over- and under-requests.
+    const std::uint32_t cases[][2] = {{16, 4}, {10, 3}, {64, 8},
+                                      {7, 2},  {256, 8}, {9, 9}};
+    for (const auto &c : cases) {
+        SCOPED_TRACE(std::to_string(c[0]) + " procs / " +
+                     std::to_string(c[1]) + " domains");
+        const PdesPlan plan = meshPlan(c[0], c[1]);
+        std::vector<unsigned> owners(c[0], 0);
+        for (const DomainSpec &s : plan.domains)
+            for (NodeId n = s.firstNode; n < s.firstNode + s.numNodes;
+                 ++n) {
+                ASSERT_LT(n, c[0]);
+                ++owners[n];
+            }
+        for (std::uint32_t n = 0; n < c[0]; ++n)
+            EXPECT_EQ(owners[n], 1u) << "node " << n;
+    }
+}
+
+TEST(PdesPartition, DomainsAreContiguousRowBlocks)
+{
+    const PdesPlan plan = meshPlan(64, 4); // 8x8 grid
+    ASSERT_EQ(plan.gridCols, 8u);
+    ASSERT_EQ(plan.gridRows, 8u);
+    ASSERT_EQ(plan.domains.size(), 4u);
+    NodeId expect_first = 0;
+    for (const DomainSpec &s : plan.domains) {
+        EXPECT_EQ(s.firstNode, expect_first)
+            << "domains must tile the NodeId space in order";
+        EXPECT_EQ(s.firstNode % plan.gridCols, 0u)
+            << "domain boundaries must fall on row boundaries";
+        expect_first = s.firstNode + s.numNodes;
+    }
+    EXPECT_EQ(expect_first, 64u);
+    // nodeDomain and rowDomain agree with the specs.
+    for (const DomainSpec &s : plan.domains)
+        for (NodeId n = s.firstNode; n < s.firstNode + s.numNodes; ++n) {
+            EXPECT_EQ(plan.nodeDomain[n], s.id);
+            EXPECT_EQ(plan.rowDomain[n / plan.gridCols], s.id);
+        }
+}
+
+TEST(PdesPartition, RaggedGridKeepsRowAlignment)
+{
+    // 10 nodes -> 4x3 grid with two phantom slots in the last row.
+    const PdesPlan plan = meshPlan(10, 3);
+    ASSERT_EQ(plan.gridCols, 4u);
+    ASSERT_EQ(plan.gridRows, 3u);
+    ASSERT_EQ(plan.rowDomain.size(), 3u);
+    for (const DomainSpec &s : plan.domains)
+        EXPECT_EQ(s.firstNode % plan.gridCols, 0u);
+    // The last row's domain also owns its phantom slots' links.
+    EXPECT_EQ(plan.rowDomain.back(),
+              plan.domains.back().id);
+}
+
+TEST(PdesPartition, RequestClampedToTopology)
+{
+    // Mesh: a 4x4 grid has 4 rows; requesting 9 domains yields 4.
+    EXPECT_EQ(meshPlan(16, 9).domains.size(), 4u);
+    // Ideal: clamped to the node count.
+    EXPECT_EQ(idealPlan(8, 99, 1).domains.size(), 8u);
+    // The effective count never depends on a jobs value - the plan has
+    // no jobs input at all (compile-time property of the signature).
+}
+
+TEST(PdesPartition, LookaheadFormula)
+{
+    MeshConfig m;
+    m.routerDelay = 2;
+    m.hopLatency = 5;
+    // Minimum cross-domain crossing: router in + 1-cycle
+    // serialization + hop + router out.
+    EXPECT_EQ(meshPlan(16, 4, 0, m).lookahead, Tick{2 * 2 + 5 + 1});
+    EXPECT_EQ(idealPlan(16, 4, 7).lookahead, Tick{7});
+    EXPECT_EQ(idealPlan(16, 4, 0).lookahead, Tick{1})
+        << "zero-latency ideal still needs a 1-cycle window";
+    // A window override may narrow the window but never widen it.
+    EXPECT_EQ(meshPlan(16, 4, 3, m).lookahead, Tick{3});
+    EXPECT_EQ(meshPlan(16, 4, 1000, m).lookahead, Tick{2 * 2 + 5 + 1});
+}
+
+// --- window-barrier message ordering --------------------------------
+
+/** Two ideal-network domains over 4 nodes; domain 0 owns {0,1},
+ *  domain 1 owns {2,3}. Records deliveries at domain 1's endpoints. */
+struct MailboxHarness {
+    PdesState st;
+    std::vector<std::vector<std::pair<Tick, std::uint32_t>>> inbox;
+
+    explicit MailboxHarness(Tick latency)
+        : st(idealPlan(4, 2, latency)), inbox(4)
+    {
+        DomainNetConfig ncfg;
+        ncfg.meshBased = false;
+        ncfg.idealLatency = latency;
+        for (const DomainSpec &spec : st.plan.domains) {
+            auto d = std::make_unique<PdesDomain>(
+                spec, TraceRecorder::kDefaultCapacity);
+            d->net = std::make_unique<DomainNet>(d->eq, 4, spec,
+                                                 st.plan, ncfg,
+                                                 &d->arena);
+            for (NodeId n = spec.firstNode;
+                 n < spec.firstNode + spec.numNodes; ++n)
+                d->net->connect(n, [this, n](const Message &m) {
+                    inbox[n].push_back(
+                        {st.domains[st.plan.nodeDomain[n]]->eq.now(),
+                         m.seq});
+                });
+            st.domains.push_back(std::move(d));
+        }
+    }
+
+    void
+    post(NodeId src, NodeId dst, std::uint32_t seq)
+    {
+        Message m;
+        m.type = MsgType::Probe;
+        m.src = src;
+        m.dst = dst;
+        m.seq = seq;
+        m.bytes = 8;
+        st.domains[st.plan.nodeDomain[src]]->net->send(m);
+    }
+};
+
+TEST(PdesMailbox, FlushPreservesPerPairSendOrder)
+{
+    MailboxHarness h(/*latency=*/4);
+    // Interleave two cross-domain pairs; all sends inside window 0.
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        h.post(0, 2, i);       // pair A
+        h.post(1, 3, 100 + i); // pair B
+    }
+    ASSERT_EQ(h.st.domains[0]->net->crossMessages(), 32u);
+
+    const Tick window_end = h.st.plan.lookahead;
+    EXPECT_EQ(h.st.flushMailboxes(window_end), 32u);
+    h.st.domains[1]->eq.run();
+
+    ASSERT_EQ(h.inbox[2].size(), 16u);
+    ASSERT_EQ(h.inbox[3].size(), 16u);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        // Same per-(src,dst) FIFO order a serial network delivers.
+        EXPECT_EQ(h.inbox[2][i].second, i);
+        EXPECT_EQ(h.inbox[3][i].second, 100 + i);
+        // Nothing may land inside the window it was sent in.
+        EXPECT_GE(h.inbox[2][i].first, window_end);
+    }
+}
+
+TEST(PdesMailbox, MeshParcelsRespectTheLookahead)
+{
+    // 16 nodes, 4 row-domains over the default mesh; every
+    // cross-domain parcel sent at tick 0 must arrive at or after the
+    // derived lookahead, or conservative execution is unsound.
+    PdesState st(meshPlan(16, 4));
+    DomainNetConfig ncfg;
+    ncfg.meshBased = true;
+    for (const DomainSpec &spec : st.plan.domains) {
+        auto d = std::make_unique<PdesDomain>(
+            spec, TraceRecorder::kDefaultCapacity);
+        d->net = std::make_unique<DomainNet>(d->eq, 16, spec, st.plan,
+                                             ncfg, &d->arena);
+        st.domains.push_back(std::move(d));
+    }
+    // Saturate: every node sends to every foreign-domain node.
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId t = 0; t < 16; ++t) {
+            if (st.plan.nodeDomain[s] == st.plan.nodeDomain[t])
+                continue;
+            Message m;
+            m.type = MsgType::Probe;
+            m.src = s;
+            m.dst = t;
+            m.bytes = 64; // several serialization cycles
+            st.domains[st.plan.nodeDomain[s]]->net->send(m);
+        }
+    std::uint64_t parcels = 0;
+    for (const auto &d : st.domains)
+        for (const auto &box : d->net->outbox)
+            for (const DomainNet::Parcel &p : box) {
+                EXPECT_GE(p.when, st.plan.lookahead)
+                    << p.msg.src << "->" << p.msg.dst;
+                ++parcels;
+            }
+    EXPECT_EQ(parcels, 16u * 12u);
+    // flushMailboxes itself enforces the same bound (panics on
+    // violation) - exercise the success path.
+    EXPECT_EQ(st.flushMailboxes(st.plan.lookahead), parcels);
+}
+
+// --- determinism gate: jobs is invisible ----------------------------
+
+RunResult
+runPdes(const std::string &app, std::uint32_t procs,
+        std::uint32_t domains, std::uint32_t jobs,
+        const std::string &chaos_preset = "", std::uint64_t seed = 42)
+{
+    SystemConfig cfg;
+    cfg.numProcs = procs;
+    cfg.homePolicy = HomePolicy::Interleave;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
+    cfg.pdes.domains = domains;
+    cfg.pdes.jobs = jobs;
+    if (!chaos_preset.empty()) {
+        cfg.network.model = NetworkConfig::Model::Chaos;
+        cfg.network.chaos = chaosPreset(chaos_preset);
+        cfg.network.chaos.seed = seed;
+    }
+    System sys(cfg);
+    auto sources = setupApp(sys, appProfile(app), seed);
+    return sys.run(2'000'000'000ull);
+}
+
+/** Full-RunResult equality, excluding only pdes.jobs (the one field
+ *  that records the thread count rather than the simulation). */
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.quiesced, b.quiesced);
+    EXPECT_EQ(a.breakdown.useful, b.breakdown.useful);
+    EXPECT_EQ(a.breakdown.miss, b.breakdown.miss);
+    EXPECT_EQ(a.breakdown.commit, b.breakdown.commit);
+    EXPECT_EQ(a.breakdown.idle, b.breakdown.idle);
+    EXPECT_EQ(a.breakdown.violation, b.breakdown.violation);
+    EXPECT_EQ(a.committedTxns, b.committedTxns);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.overflows, b.overflows);
+    EXPECT_EQ(a.committedInstructions, b.committedInstructions);
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    for (std::size_t p = 0; p < a.procs.size(); ++p) {
+        EXPECT_EQ(a.procs[p].txnsCommitted, b.procs[p].txnsCommitted);
+        EXPECT_EQ(a.procs[p].violations, b.procs[p].violations);
+        EXPECT_EQ(a.procs[p].overflows, b.procs[p].overflows);
+        EXPECT_EQ(a.procs[p].soloCommits, b.procs[p].soloCommits);
+        EXPECT_EQ(a.procs[p].committedInstructions,
+                  b.procs[p].committedInstructions);
+    }
+    ASSERT_EQ(a.dirs.size(), b.dirs.size());
+    for (std::size_t d = 0; d < a.dirs.size(); ++d) {
+        EXPECT_EQ(a.dirs[d].nstid, b.dirs[d].nstid);
+        EXPECT_EQ(a.dirs[d].commitsServed, b.dirs[d].commitsServed);
+        EXPECT_EQ(a.dirs[d].skipsReceived, b.dirs[d].skipsReceived);
+        EXPECT_EQ(a.dirs[d].abortsServed, b.dirs[d].abortsServed);
+        EXPECT_EQ(a.dirs[d].invalidationsSent,
+                  b.dirs[d].invalidationsSent);
+        EXPECT_EQ(a.dirs[d].writeBacksDropped,
+                  b.dirs[d].writeBacksDropped);
+    }
+    EXPECT_EQ(a.serial.ok, b.serial.ok);
+    EXPECT_EQ(a.serial.checks, b.serial.checks);
+    EXPECT_EQ(a.serial.error, b.serial.error);
+    EXPECT_EQ(a.invariants.ok, b.invariants.ok);
+    EXPECT_EQ(a.invariants.checks, b.invariants.checks);
+    EXPECT_EQ(a.invariants.error, b.invariants.error);
+    EXPECT_EQ(a.pdes.domains, b.pdes.domains);
+    EXPECT_EQ(a.pdes.lookahead, b.pdes.lookahead);
+    EXPECT_EQ(a.pdes.windows, b.pdes.windows);
+    EXPECT_EQ(a.pdes.mailboxMessages, b.pdes.mailboxMessages);
+}
+
+TEST(PdesDeterminism, JobsCountIsInvisible)
+{
+    const RunResult serial_crew = runPdes("barnes", 16, 4, 1);
+    ASSERT_TRUE(serial_crew.completed);
+    ASSERT_TRUE(serial_crew.checksPassed())
+        << serial_crew.serial.error << serial_crew.invariants.error;
+    ASSERT_EQ(serial_crew.pdes.domains, 4u);
+    EXPECT_GT(serial_crew.pdes.windows, 0u);
+    EXPECT_GT(serial_crew.pdes.mailboxMessages, 0u);
+    for (std::uint32_t jobs : {2u, 3u, 4u, 8u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        const RunResult threaded = runPdes("barnes", 16, 4, jobs);
+        expectSameResult(serial_crew, threaded);
+        EXPECT_EQ(threaded.pdes.jobs, std::min(jobs, 4u))
+            << "jobs clamps to the domain count";
+    }
+}
+
+TEST(PdesDeterminism, RepeatRunsAreIdentical)
+{
+    const RunResult a = runPdes("radix", 16, 4, 4);
+    const RunResult b = runPdes("radix", 16, 4, 4);
+    ASSERT_TRUE(a.completed);
+    expectSameResult(a, b);
+    EXPECT_EQ(a.pdes.jobs, b.pdes.jobs);
+}
+
+TEST(PdesDeterminism, DomainCountIsPartOfTheModel)
+{
+    // Different partitions are different (valid) executions: both
+    // pass the checkers, but fingerprints may differ - the domain
+    // count is a model parameter, unlike jobs.
+    const RunResult d2 = runPdes("barnes", 16, 2, 2);
+    const RunResult d4 = runPdes("barnes", 16, 4, 2);
+    ASSERT_TRUE(d2.completed);
+    ASSERT_TRUE(d4.completed);
+    EXPECT_TRUE(d2.checksPassed());
+    EXPECT_TRUE(d4.checksPassed());
+    EXPECT_EQ(d2.pdes.domains, 2u);
+    EXPECT_EQ(d4.pdes.domains, 4u);
+    EXPECT_EQ(d2.committedTxns, d4.committedTxns)
+        << "every partition must commit the same workload";
+}
+
+TEST(PdesDeterminism, PartitionCollapseFallsBackToSerialEngine)
+{
+    // 2 procs -> 2x1 grid -> one row -> one domain: the PDES request
+    // silently collapses and the legacy serial engine runs.
+    const RunResult pdes = runPdes("barnes", 2, 4, 4);
+    SystemConfig cfg;
+    cfg.numProcs = 2;
+    cfg.homePolicy = HomePolicy::Interleave;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
+    System sys(cfg);
+    auto sources = setupApp(sys, appProfile("barnes"), 42);
+    const RunResult serial = sys.run(2'000'000'000ull);
+    ASSERT_TRUE(pdes.completed);
+    EXPECT_EQ(pdes.pdes.domains, 0u) << "collapse reports no PDES";
+    expectSameResult(pdes, serial);
+}
+
+TEST(PdesDeterminism, ValidateRejectsBadConfigs)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 16;
+    cfg.pdes.domains = 4;
+    // First-touch home assignment depends on a global access order
+    // that domains do not share.
+    cfg.homePolicy = HomePolicy::FirstTouch;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.homePolicy = HomePolicy::Interleave;
+    EXPECT_EQ(cfg.validate(), "");
+    // A window wider than the lookahead would violate causality.
+    cfg.pdes.window = 1000;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.pdes.window = 1;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(PdesDeterminism, NarrowedWindowIsItsOwnDeterministicModel)
+{
+    // The window width is a model parameter like the domain count:
+    // barriers run more often, so cross-domain store writes become
+    // visible earlier and the execution legitimately differs from the
+    // full-lookahead run. What must hold: the narrowed run is still
+    // valid (checkers pass, same workload committed) and still
+    // jobs-invariant.
+    SystemConfig cfg;
+    cfg.numProcs = 16;
+    cfg.homePolicy = HomePolicy::Interleave;
+    cfg.check.serial = true;
+    cfg.check.invariants = true;
+    cfg.pdes.domains = 4;
+    RunResult wide, narrow1, narrow4;
+    {
+        System sys(cfg);
+        auto sources = setupApp(sys, appProfile("equake"), 7);
+        wide = sys.run(2'000'000'000ull);
+    }
+    cfg.pdes.window = 2;
+    cfg.pdes.jobs = 1;
+    {
+        System sys(cfg);
+        auto sources = setupApp(sys, appProfile("equake"), 7);
+        narrow1 = sys.run(2'000'000'000ull);
+    }
+    cfg.pdes.jobs = 4;
+    {
+        System sys(cfg);
+        auto sources = setupApp(sys, appProfile("equake"), 7);
+        narrow4 = sys.run(2'000'000'000ull);
+    }
+    ASSERT_TRUE(wide.completed);
+    ASSERT_TRUE(narrow1.completed);
+    EXPECT_EQ(narrow1.pdes.lookahead, Tick{2});
+    EXPECT_GT(narrow1.pdes.windows, wide.pdes.windows);
+    EXPECT_EQ(wide.committedTxns, narrow1.committedTxns)
+        << "every window width must commit the same workload";
+    EXPECT_TRUE(narrow1.checksPassed())
+        << narrow1.serial.error << narrow1.invariants.error;
+    expectSameResult(narrow1, narrow4);
+}
+
+// --- PDES x chaos ---------------------------------------------------
+
+TEST(PdesChaos, EveryPresetDeterministicAcrossJobs)
+{
+    for (const auto &preset : chaosPresetNames()) {
+        SCOPED_TRACE(preset);
+        const RunResult one = runPdes("radix", 16, 4, 1, preset, 99);
+        ASSERT_TRUE(one.completed);
+        ASSERT_TRUE(one.checksPassed())
+            << one.serial.error << one.invariants.error;
+        const RunResult four = runPdes("radix", 16, 4, 4, preset, 99);
+        expectSameResult(one, four);
+    }
+}
+
+TEST(PdesChaos, SeedPerturbsTheRun)
+{
+    const RunResult a = runPdes("radix", 16, 4, 4, "heavy", 99);
+    const RunResult b = runPdes("radix", 16, 4, 4, "heavy", 99);
+    const RunResult c = runPdes("radix", 16, 4, 4, "heavy", 100);
+    ASSERT_TRUE(a.completed);
+    expectSameResult(a, b);
+    EXPECT_TRUE(a.cycles != c.cycles || a.events != c.events)
+        << "different chaos seeds should not collide exactly";
+}
+
+} // namespace
+} // namespace tcc
