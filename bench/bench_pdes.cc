@@ -187,6 +187,28 @@ main(int argc, char **argv)
         RunResult baseRes;
         double baseWall = 0;
         for (std::uint32_t jobs : jobsList) {
+            // The engine clamps jobs to the domain count, so a request
+            // beyond it reruns an already-measured point and would
+            // emit a duplicate JSON row (same procs + effective jobs).
+            if (jobs > row.domains) {
+                const std::uint32_t effective = row.domains;
+                bool dup = false;
+                for (std::uint32_t j : jobsList) {
+                    if (j < jobs &&
+                        std::min(j, row.domains) == effective) {
+                        dup = true;
+                        break;
+                    }
+                }
+                if (dup) {
+                    std::printf("%-8s procs=%-4u domains=%-3u "
+                                "jobs=%-2u : skipped (clamps to "
+                                "jobs=%u, already measured)\n",
+                                row.app, row.procs, row.domains, jobs,
+                                effective);
+                    continue;
+                }
+            }
             points.push_back(
                 runPoint(row.app, row.procs, row.domains, jobs, smoke));
             const Point &pt = points.back();

@@ -78,4 +78,30 @@ if(REQUIRE_CONFIG)
   endif()
 endif()
 
+# Optional duplicate-point check: with -DPOINTS_ARRAY=<key> and
+# -DUNIQUE_POINT_KEYS=a,b each element of doc.<key> must have a unique
+# (a, b, ...) tuple. Guards against a sweep emitting the same measured
+# point twice under different requested parameters (e.g. a jobs value
+# clamped to the domain count).
+if(DEFINED POINTS_ARRAY AND DEFINED UNIQUE_POINT_KEYS)
+  string(REPLACE "," ";" unique_key_list "${UNIQUE_POINT_KEYS}")
+  string(JSON npts LENGTH "${doc}" ${POINTS_ARRAY})
+  set(seen_tuples "")
+  math(EXPR last "${npts} - 1")
+  foreach(i RANGE ${last})
+    set(tuple "")
+    foreach(key IN LISTS unique_key_list)
+      string(JSON val GET "${doc}" ${POINTS_ARRAY} ${i} ${key})
+      string(APPEND tuple "${key}=${val}/")
+    endforeach()
+    list(FIND seen_tuples "${tuple}" dup_idx)
+    if(NOT dup_idx EQUAL -1)
+      message(FATAL_ERROR
+              "${JSON_FILE}: duplicate point ${tuple} in "
+              "'${POINTS_ARRAY}'")
+    endif()
+    list(APPEND seen_tuples "${tuple}")
+  endforeach()
+endif()
+
 message(STATUS "${JSON_FILE}: schema OK")

@@ -13,6 +13,10 @@
  *     --network M       mesh | ideal | chaos:<preset>  (default mesh;
  *                       "chaos:list" prints the preset names)
  *     --chaos PRESET    shorthand for --network=chaos:<preset>
+ *     --multicast M     commit fan-out strategy: flat | tree | tree:kN
+ *                       (tree stages Skip/probe fan-out through a
+ *                       k-ary combining tree; default flat, tree
+ *                       defaults to k4, mesh network only)
  *     --hop N           mesh cycles per hop (default 3)
  *     --line-gran       line-granularity conflict detection
  *     --interleave      page-interleaved homes (default first-touch)
@@ -60,7 +64,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--app NAME] [--procs N] "
                  "[--network mesh|ideal|chaos:<preset>] "
-                 "[--chaos PRESET] [--hop N] [--line-gran] "
+                 "[--chaos PRESET] [--multicast flat|tree:kN] "
+                 "[--hop N] [--line-gran] "
                  "[--interleave] [--jitter N] [--aging N] "
                  "[--domains D] [--jobs N] [--seed N] "
                  "[--check serial,invariants] [--trace] "
@@ -93,6 +98,26 @@ parseNetwork(const std::string &val, NetworkConfig &net,
         net.chaos = chaosPreset("heavy");
     } else {
         std::fprintf(stderr, "%s: unknown network '%s'\n", argv0,
+                     val.c_str());
+        std::exit(1);
+    }
+}
+
+/** Apply one --multicast value (flat | tree | tree:kN). */
+void
+parseMulticast(const std::string &val, MulticastConfig &mc,
+               const char *argv0)
+{
+    if (val == "flat") {
+        mc.topology = MulticastConfig::Topology::Flat;
+    } else if (val == "tree") {
+        mc.topology = MulticastConfig::Topology::Tree;
+    } else if (val.rfind("tree:k", 0) == 0) {
+        mc.topology = MulticastConfig::Topology::Tree;
+        mc.fanout = static_cast<std::uint32_t>(
+            std::atoi(val.c_str() + 6));
+    } else {
+        std::fprintf(stderr, "%s: unknown multicast '%s'\n", argv0,
                      val.c_str());
         std::exit(1);
     }
@@ -165,6 +190,8 @@ main(int argc, char **argv)
             parseNetwork(next(), cfg.network, argv[0]);
         } else if (arg == "--chaos") {
             parseNetwork("chaos:" + next(), cfg.network, argv[0]);
+        } else if (arg == "--multicast") {
+            parseMulticast(next(), cfg.network.multicast, argv[0]);
         } else if (arg == "--hop") {
             cfg.network.mesh.hopLatency =
                 static_cast<Tick>(std::atoi(next().c_str()));
@@ -244,6 +271,12 @@ main(int argc, char **argv)
                    (cfg.network.chaos.overIdeal ? "ideal" : "mesh") +
                    ", seed " + std::to_string(cfg.network.chaos.seed);
         break;
+    }
+    if (cfg.network.multicast.topology ==
+        MulticastConfig::Topology::Tree) {
+        net_desc += ", tree-k" +
+                    std::to_string(cfg.network.multicast.fanout) +
+                    " multicast";
     }
     std::printf("tccsim: %s on %u processors (hop=%llu, %s, %s, %s)\n",
                 app.name.c_str(), cfg.numProcs,

@@ -1,18 +1,27 @@
 /**
  * @file
- * NodeSet: a small fixed-capacity bit set over node IDs. Used for
- * directory sharers lists and for the per-processor Sharing and
- * Writing vectors (Figure 1b / Figure 4 of the paper), and - since the
- * bitmap set-algebra work - for the commit engine's per-directory
- * bookkeeping (marks-done, validated, early-answer membership).
+ * NodeSet: a size-generic bit set over node IDs. Used for directory
+ * sharers lists and for the per-processor Sharing and Writing vectors
+ * (Figure 1b / Figure 4 of the paper), and - since the bitmap
+ * set-algebra work - for the commit engine's per-directory bookkeeping
+ * (marks-done, validated, early-answer membership).
  *
- * Storage is an inline array of 64-bit words (no heap): the set is
- * trivially copyable, assignment is a word copy, and membership /
- * emptiness / population checks compile to single AND / OR / POPCNT
- * instructions over at most kMaxWords words. Iteration uses
- * count-trailing-zeros over each word, so forEach visits members in
- * increasing node order - call sites that emit protocol messages rely
- * on that for deterministic emission.
+ * Storage is hybrid: systems of up to kInlineNodes (256) nodes - every
+ * configuration the paper evaluates, and then some - live in an inline
+ * array of 64-bit words (no heap, no arena), so assignment is a word
+ * copy and membership / emptiness / population checks compile to
+ * single AND / OR / POPCNT instructions. Larger systems (the 1024-node
+ * scaling sweeps) switch to a wide word array drawn from the owning
+ * System's arena at construction time - still a flat popcount bitmap,
+ * just not inline - so the per-event hot path never allocates in
+ * either mode. Iteration uses count-trailing-zeros over each word, so
+ * forEach visits members in increasing node order - call sites that
+ * emit protocol messages rely on that for deterministic emission.
+ *
+ * There is deliberately no fatal() capacity check here anymore:
+ * SystemConfig::validate() rejects unsupported node counts at config
+ * time (see core/system.cc), which is where a misconfiguration should
+ * fail.
  */
 
 #ifndef TCC_COMMON_NODESET_HH
@@ -22,7 +31,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/log.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace tcc {
@@ -36,19 +45,24 @@ namespace tcc {
 class NodeSet
 {
   public:
-    /** Largest system this inline representation supports. */
-    static constexpr std::uint32_t kMaxNodes = 256;
-    static constexpr std::size_t kMaxWords = kMaxNodes / 64;
+    /** Largest system the inline (allocation-free) storage holds. */
+    static constexpr std::uint32_t kInlineNodes = 256;
+    static constexpr std::size_t kInlineWords = kInlineNodes / 64;
 
     NodeSet() = default;
 
-    /** Construct an empty set able to hold nodes [0, num_nodes). */
-    explicit NodeSet(std::uint32_t num_nodes) : numNodes(num_nodes)
-    {
-        if (num_nodes > kMaxNodes)
-            fatal("NodeSet capacity %u exceeds kMaxNodes (%u)",
-                  num_nodes, kMaxNodes);
-    }
+    /**
+     * Construct an empty set able to hold nodes [0, num_nodes).
+     * Capacities beyond kInlineNodes draw their word array from
+     * @p arena (nullptr falls back to the heap - tests, snapshots).
+     */
+    explicit NodeSet(std::uint32_t num_nodes, Arena *arena = nullptr)
+        : numNodes(num_nodes),
+          wide(wordCountFor(num_nodes) > kInlineWords
+                   ? wordCountFor(num_nodes)
+                   : 0,
+               0, ArenaAllocator<std::uint64_t>(arena))
+    {}
 
     /** Number of node IDs this set can hold. */
     std::uint32_t capacity() const { return numNodes; }
@@ -58,7 +72,7 @@ class NodeSet
     set(NodeId n)
     {
         assert(n < numNodes);
-        words[n >> 6] |= (std::uint64_t{1} << (n & 63));
+        words()[n >> 6] |= (std::uint64_t{1} << (n & 63));
     }
 
     /** Remove @p n from the set. */
@@ -66,15 +80,16 @@ class NodeSet
     clear(NodeId n)
     {
         assert(n < numNodes);
-        words[n >> 6] &= ~(std::uint64_t{1} << (n & 63));
+        words()[n >> 6] &= ~(std::uint64_t{1} << (n & 63));
     }
 
     /** Remove every node from the set. */
     void
     clearAll()
     {
+        std::uint64_t *w = words();
         for (std::size_t i = 0; i < wordCount(); ++i)
-            words[i] = 0;
+            w[i] = 0;
     }
 
     /** @return true iff @p n is in the set. */
@@ -82,15 +97,16 @@ class NodeSet
     test(NodeId n) const
     {
         assert(n < numNodes);
-        return (words[n >> 6] >> (n & 63)) & 1;
+        return (words()[n >> 6] >> (n & 63)) & 1;
     }
 
     /** @return true iff the set is empty. */
     bool
     empty() const
     {
+        const std::uint64_t *w = words();
         for (std::size_t i = 0; i < wordCount(); ++i)
-            if (words[i])
+            if (w[i])
                 return false;
         return true;
     }
@@ -99,10 +115,11 @@ class NodeSet
     std::uint32_t
     count() const
     {
+        const std::uint64_t *w = words();
         std::uint32_t c = 0;
         for (std::size_t i = 0; i < wordCount(); ++i)
             c += static_cast<std::uint32_t>(
-                __builtin_popcountll(words[i]));
+                __builtin_popcountll(w[i]));
         return c;
     }
 
@@ -114,13 +131,14 @@ class NodeSet
     bool
     anyBesides(NodeId self) const
     {
+        const std::uint64_t *w = words();
         std::uint64_t acc = 0;
         const std::size_t sw = self >> 6;
         for (std::size_t i = 0; i < wordCount(); ++i) {
-            std::uint64_t w = words[i];
+            std::uint64_t word = w[i];
             if (i == sw)
-                w &= ~(std::uint64_t{1} << (self & 63));
-            acc |= w;
+                word &= ~(std::uint64_t{1} << (self & 63));
+            acc |= word;
         }
         return acc != 0;
     }
@@ -129,13 +147,28 @@ class NodeSet
     bool
     intersects(const NodeSet &o) const
     {
+        const std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
         std::uint64_t acc = 0;
         const std::size_t n = wordCount() < o.wordCount()
                                   ? wordCount()
                                   : o.wordCount();
         for (std::size_t i = 0; i < n; ++i)
-            acc |= words[i] & o.words[i];
+            acc |= a[i] & b[i];
         return acc != 0;
+    }
+
+    /** OR every member of @p o into this set (capacity unchanged). */
+    void
+    merge(const NodeSet &o)
+    {
+        std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        const std::size_t n = wordCount() < o.wordCount()
+                                  ? wordCount()
+                                  : o.wordCount();
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] |= b[i];
     }
 
     /** Invoke @p fn for every member, in increasing node order. */
@@ -143,12 +176,13 @@ class NodeSet
     void
     forEach(Fn &&fn) const
     {
+        const std::uint64_t *w = words();
         for (std::size_t wi = 0; wi < wordCount(); ++wi) {
-            std::uint64_t w = words[wi];
-            while (w) {
-                const int bit = __builtin_ctzll(w);
+            std::uint64_t word = w[wi];
+            while (word) {
+                const int bit = __builtin_ctzll(word);
                 fn(static_cast<NodeId>(wi * 64 + bit));
-                w &= w - 1;
+                word &= word - 1;
             }
         }
     }
@@ -167,21 +201,41 @@ class NodeSet
     {
         if (numNodes != o.numNodes)
             return false;
+        const std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
         for (std::size_t i = 0; i < wordCount(); ++i)
-            if (words[i] != o.words[i])
+            if (a[i] != b[i])
                 return false;
         return true;
     }
 
   private:
-    std::size_t
-    wordCount() const
+    static std::size_t
+    wordCountFor(std::uint32_t nodes)
     {
-        return (numNodes + 63) >> 6;
+        return (nodes + std::uint32_t{63}) >> 6;
+    }
+
+    std::size_t wordCount() const { return wordCountFor(numNodes); }
+
+    /** Active word array: inline for <= kInlineNodes, else wide. */
+    std::uint64_t *
+    words()
+    {
+        return wide.empty() ? inlineWords : wide.data();
+    }
+    const std::uint64_t *
+    words() const
+    {
+        return wide.empty() ? inlineWords : wide.data();
     }
 
     std::uint32_t numNodes = 0;
-    std::uint64_t words[kMaxWords] = {};
+    std::uint64_t inlineWords[kInlineWords] = {};
+    /// Engaged only beyond kInlineNodes; arena-backed, sized once at
+    /// construction (ArenaAllocator propagates on copy/move assign, so
+    /// re-assigning an entry's set keeps its arena).
+    std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> wide;
 };
 
 } // namespace tcc

@@ -175,10 +175,32 @@ dumpLedgerText(std::ostream &os,
         line(os, pre + ".probe_rtt_max", e.probeRttMax);
         line(os, pre + ".mark_to_commit", e.markToCommitCycles());
         line(os, pre + ".skip_to_commit", e.skipToCommitCycles());
+        line(os, pre + ".directories_touched", e.directoriesTouched);
+        line(os, pre + ".multicast_events", e.multicastEvents);
         if (e.hasViolation) {
             line(os, pre + ".violation_addr", e.violationAddr);
             line(os, pre + ".violation_writer", e.violationWriter);
         }
+    }
+    // Cross-commit distributions (mean/p50/p99) of the fan-out shape:
+    // how many directories a commit touches and what it cost in
+    // NIC-serialized multicast injections.
+    Distribution dirs, mcast;
+    for (const TxLedgerEntry &e : ledger) {
+        dirs.sample(static_cast<double>(e.directoriesTouched));
+        mcast.sample(static_cast<double>(e.multicastEvents));
+    }
+    if (dirs.count() != 0) {
+        lined(os, "tx_ledger.directories_touched.mean", dirs.mean());
+        lined(os, "tx_ledger.directories_touched.p50",
+              dirs.percentile(50));
+        lined(os, "tx_ledger.directories_touched.p99",
+              dirs.percentile(99));
+        lined(os, "tx_ledger.multicast_events.mean", mcast.mean());
+        lined(os, "tx_ledger.multicast_events.p50",
+              mcast.percentile(50));
+        lined(os, "tx_ledger.multicast_events.p99",
+              mcast.percentile(99));
     }
 }
 
@@ -212,6 +234,8 @@ dumpStats(const System &sys, std::ostream &os)
     line(os, "network.messages", ns.messages);
     line(os, "network.bytes", ns.totalBytes);
     line(os, "network.hops", ns.totalHops);
+    line(os, "network.multicasts", ns.multicasts);
+    line(os, "network.multicast_nic_events", ns.multicastNicEvents);
     line(os, "network.bytes.overhead",
          ns.classBytes[(int)TrafficClass::Overhead]);
     line(os, "network.bytes.miss",
@@ -241,6 +265,11 @@ dumpStats(const System &sys, std::ostream &os)
         dumpDistribution(os, pre + ".txn_instructions",
                          s.txnInstructions);
         dumpDistribution(os, pre + ".commit_latency", s.commitLatency);
+        dumpDistribution(os, pre + ".dirs_per_commit", s.dirsPerCommit);
+        dumpDistribution(os, pre + ".dirs_touched_per_commit",
+                         s.dirsTouchedPerCommit);
+        dumpDistribution(os, pre + ".multicast_nic_per_commit",
+                         s.multicastNicPerCommit);
 
         const auto &cs = sys.proc(p).cache().stats();
         line(os, pre + ".cache.loads", cs.loads);
@@ -356,6 +385,8 @@ dumpStatsJson(const System &sys, std::ostream &os)
     j.kv("messages", ns.messages);
     j.kv("bytes", ns.totalBytes);
     j.kv("hops", ns.totalHops);
+    j.kv("multicasts", ns.multicasts);
+    j.kv("multicast_nic_events", ns.multicastNicEvents);
     j.beginObj("bytes_by_class");
     j.kv("overhead", ns.classBytes[(int)TrafficClass::Overhead]);
     j.kv("miss", ns.classBytes[(int)TrafficClass::Miss]);
@@ -383,6 +414,11 @@ dumpStatsJson(const System &sys, std::ostream &os)
         j.kv("value_validation_failures", s.valueValidationFailures);
         jsonDistribution(j, "txn_instructions", s.txnInstructions);
         jsonDistribution(j, "commit_latency", s.commitLatency);
+        jsonDistribution(j, "dirs_per_commit", s.dirsPerCommit);
+        jsonDistribution(j, "dirs_touched_per_commit",
+                         s.dirsTouchedPerCommit);
+        jsonDistribution(j, "multicast_nic_per_commit",
+                         s.multicastNicPerCommit);
 
         const auto &cs = sys.proc(p).cache().stats();
         j.beginObj("cache");
@@ -428,31 +464,62 @@ dumpStatsJson(const System &sys, std::ostream &os)
     }
     j.endArr();
 
+    std::vector<TxLedgerEntry> ledger;
+    if (sys.traceRecorder().captured() != 0)
+        ledger = buildTxLedger(sys.traceRecorder());
+
     j.beginArr("tx_ledger");
-    if (sys.traceRecorder().captured() != 0) {
-        for (const TxLedgerEntry &e :
-             buildTxLedger(sys.traceRecorder())) {
-            j.beginObj();
-            j.kv("tid", e.tid);
-            j.kv("node", static_cast<std::uint64_t>(e.node));
-            j.kv("begin_tick", e.beginTick);
-            j.kv("exec_cycles", e.execCycles());
-            j.kv("commit_cycles", e.commitCycles());
-            j.kv("retries", static_cast<std::uint64_t>(e.retries));
-            j.kv("probes", e.probeCount);
-            j.kv("probe_rtt_mean", e.probeRttMean());
-            j.kv("probe_rtt_max", e.probeRttMax);
-            j.kv("mark_to_commit", e.markToCommitCycles());
-            j.kv("skip_to_commit", e.skipToCommitCycles());
-            j.kvBool("has_violation", e.hasViolation);
-            if (e.hasViolation) {
-                j.kv("violation_addr", e.violationAddr);
-                j.kv("violation_writer", e.violationWriter);
-            }
-            j.endObj();
+    for (const TxLedgerEntry &e : ledger) {
+        j.beginObj();
+        j.kv("tid", e.tid);
+        j.kv("node", static_cast<std::uint64_t>(e.node));
+        j.kv("begin_tick", e.beginTick);
+        j.kv("exec_cycles", e.execCycles());
+        j.kv("commit_cycles", e.commitCycles());
+        j.kv("retries", static_cast<std::uint64_t>(e.retries));
+        j.kv("probes", e.probeCount);
+        j.kv("probe_rtt_mean", e.probeRttMean());
+        j.kv("probe_rtt_max", e.probeRttMax);
+        j.kv("mark_to_commit", e.markToCommitCycles());
+        j.kv("skip_to_commit", e.skipToCommitCycles());
+        j.kv("directories_touched", e.directoriesTouched);
+        j.kv("multicast_events", e.multicastEvents);
+        j.kvBool("has_violation", e.hasViolation);
+        if (e.hasViolation) {
+            j.kv("violation_addr", e.violationAddr);
+            j.kv("violation_writer", e.violationWriter);
         }
+        j.endObj();
     }
     j.endArr();
+
+    // Cross-commit fan-out distributions: directories touched per
+    // commit and NIC-serialized multicast cost per commit.
+    {
+        Distribution dirs, mcast;
+        for (const TxLedgerEntry &e : ledger) {
+            dirs.sample(static_cast<double>(e.directoriesTouched));
+            mcast.sample(static_cast<double>(e.multicastEvents));
+        }
+        j.beginObj("tx_ledger_summary");
+        j.beginObj("directories_touched");
+        j.kv("count", static_cast<std::uint64_t>(dirs.count()));
+        if (dirs.count() != 0) {
+            j.kv("mean", dirs.mean());
+            j.kv("p50", dirs.percentile(50));
+            j.kv("p99", dirs.percentile(99));
+        }
+        j.endObj();
+        j.beginObj("multicast_events");
+        j.kv("count", static_cast<std::uint64_t>(mcast.count()));
+        if (mcast.count() != 0) {
+            j.kv("mean", mcast.mean());
+            j.kv("p50", mcast.percentile(50));
+            j.kv("p99", mcast.percentile(99));
+        }
+        j.endObj();
+        j.endObj();
+    }
 
     j.endObj();
     os << "\n";

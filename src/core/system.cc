@@ -52,8 +52,21 @@ SystemConfig::validate() const
                    "duplicateLag (a zero-lag duplicate is "
                    "indistinguishable from the original)";
     }
-    if (check.invariants && numProcs > 4096)
-        return "invariant checker supports at most 4096 nodes";
+    if (numProcs > 4096) {
+        return "this build supports at most 4096 processors (the "
+               "invariant checker and scaling sweeps are sized for "
+               "that); reduce numProcs or raise the cap deliberately";
+    }
+    if (network.multicast.topology == MulticastConfig::Topology::Tree) {
+        if (network.model != NetworkConfig::Model::Mesh) {
+            return "tree multicast requires the plain mesh network: "
+                   "the combining tree is embedded in mesh XY routes "
+                   "(keep multicast.topology = Flat for ideal or "
+                   "chaos models)";
+        }
+        if (network.multicast.fanout < 2)
+            return "tree multicast fanout must be >= 2";
+    }
     if (pdes.domains > 1) {
         if (homePolicy != HomePolicy::Interleave) {
             return "PDES (pdes.domains > 1) requires "
@@ -118,6 +131,7 @@ System::System(const SystemConfig &cfg)
         fatal("invalid SystemConfig: %s", err.c_str());
 
     net = buildNetwork(cfg, eventq, &arena);
+    net->setMulticast(cfg.network.multicast);
 
     // Only the outermost network traces: a chaos wrapper's base would
     // otherwise emit every NetDeliver twice.
@@ -204,6 +218,7 @@ System::buildPdes()
                                               config.trace.capacity);
         d->net = std::make_unique<DomainNet>(
             d->eq, config.numProcs, spec, st.plan, dnc, &d->arena);
+        d->net->setMulticast(nc.multicast);
         d->net->setTraceRecorder(&d->tracer);
         if (config.check.invariants) {
             d->checker = std::make_unique<InvariantChecker>(

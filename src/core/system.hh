@@ -59,6 +59,11 @@ struct NetworkConfig {
     /** Fault-injection parameters (Model::Chaos). chaos.overIdeal
      *  picks the base network the faults are layered on. */
     ChaosConfig chaos;
+    /** Commit fan-out strategy: flat per-destination sends (default,
+     *  the paper's model) or a k-ary combining tree embedded in the
+     *  mesh (Model::Mesh only; see noc/network.hh and DESIGN.md
+     *  section 12). */
+    MulticastConfig multicast;
 };
 
 /** Correctness-checker selection. */

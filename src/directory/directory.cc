@@ -13,7 +13,8 @@ Directory::Directory(NodeId node, std::uint32_t num_nodes,
     : nodeId(node), numNodes(num_nodes), eventq(eq), network(net),
       config(cfg), arena(arena_), skipWindow(arena_), entries(arena_),
       deferredProbes(ArenaAllocator<Message>(arena_)),
-      stalledLoads(ArenaAllocator<Message>(arena_)), lruIndex(arena_),
+      stalledLoads(ArenaAllocator<Message>(arena_)),
+      mcastBuf(ArenaAllocator<NodeId>(arena_)), lruIndex(arena_),
       msgPool(arena_)
 {
     // Size the entry map up front: with a directory cache configured
@@ -29,7 +30,7 @@ Directory::entry(Addr lineAddr)
     auto it = entries.find(lineAddr);
     if (it == entries.end()) {
         it = entries.emplace(lineAddr, Entry{}).first;
-        it->second.sharers = NodeSet(numNodes);
+        it->second.sharers = NodeSet(numNodes, arena);
     }
     return it->second;
 }
@@ -63,6 +64,14 @@ Directory::post(Message msg)
     msg.src = nodeId;
     msg.bytes = sizeOf(msg.type);
     network.send(std::move(msg));
+}
+
+void
+Directory::postMulticast(Message msg, std::span<const NodeId> dsts)
+{
+    msg.src = nodeId;
+    msg.bytes = sizeOf(msg.type);
+    network.multicast(msg, dsts);
 }
 
 Tick
@@ -499,23 +508,28 @@ Directory::finishCommit()
                    (unsigned long long)a, n_inv);
         traceEmit(tracer, TraceCat::Dir, TraceEventKind::DirInvalidate,
                   nodeId, pending.tid, a, n_inv);
-        // forEach visits in ascending node order (deterministic
-        // emission); each visited word is snapshotted before the
-        // clear() below mutates it, so in-place removal is safe.
+        // forEach visits in ascending node order, so the collected
+        // destination list matches the old per-sharer emission order
+        // exactly; the single payload then fans out as a multicast.
+        mcastBuf.clear();
         e.sharers.forEach([&](NodeId n) {
             if (n == pending.committer)
                 return;
+            mcastBuf.push_back(n);
+        });
+        for (NodeId n : mcastBuf)
             e.sharers.clear(n);
+        if (!mcastBuf.empty()) {
             Message inv;
             inv.type = MsgType::Inv;
-            inv.dst = n;
             inv.addr = a;
             inv.tid = pending.tid;
             inv.wordMask = inv_mask;
-            post(inv);
-            ++dirStats.invalidationsSent;
-            ++pending.pendingAcks;
-        });
+            postMulticast(inv, mcastBuf);
+            dirStats.invalidationsSent += mcastBuf.size();
+            pending.pendingAcks +=
+                static_cast<std::uint32_t>(mcastBuf.size());
+        }
         noteSharerChange(e, before);
     }
     ++dirStats.commitsServed;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <list>
+#include <span>
 #include <vector>
 
 #include "check/invariant_checker.hh"
@@ -211,6 +212,10 @@ class Directory
     /** Send one protocol message (fills in src and size). */
     void post(Message msg);
 
+    /** Send one payload to every node in `dsts` via the network's
+     *  multicast layer (invalidation fan-out). */
+    void postMulticast(Message msg, std::span<const NodeId> dsts);
+
     /** Message byte size by opcode (traffic accounting). */
     std::uint32_t sizeOf(MsgType t) const;
 
@@ -240,6 +245,9 @@ class Directory
     MsgVec deferredProbes;
     /** Loads stalled on Marked lines. */
     MsgVec stalledLoads;
+
+    /** Scratch destination list for invalidation multicasts. */
+    std::vector<NodeId, ArenaAllocator<NodeId>> mcastBuf;
 
     /** Directory-cache recency tracking (LRU over entry addresses). */
     Tick dirCachePenalty(Addr lineAddr);

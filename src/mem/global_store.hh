@@ -74,6 +74,30 @@ class GlobalStore
     /** Number of distinct words ever written. */
     std::size_t footprint() const { return words.size(); }
 
+    /**
+     * Order-independent digest of the committed image: each (addr,
+     * value) pair is mixed into a 64-bit word and the words are
+     * combined commutatively, so two stores holding the same mapping
+     * hash equal regardless of iteration order. Used by the timing
+     * ablation gates (flat vs tree multicast must produce identical
+     * final memory).
+     */
+    std::uint64_t
+    fingerprint() const
+    {
+        auto mix = [](std::uint64_t x) {
+            // splitmix64 finalizer: full avalanche per record.
+            x += 0x9e3779b97f4a7c15ULL;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            return x ^ (x >> 31);
+        };
+        std::uint64_t h = mix(words.size());
+        for (const auto &kv : words)
+            h += mix(mix(kv.first) ^ kv.second);
+        return h;
+    }
+
     /** Word size used for alignment (bytes). */
     static constexpr Addr kWordBytes = 4;
 

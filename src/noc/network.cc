@@ -51,33 +51,28 @@ MeshNetwork::hopCount(NodeId a, NodeId b) const
     return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
 }
 
-void
-MeshNetwork::send(Message msg)
+Tick
+MeshNetwork::routeArrival(NodeId from, NodeId to, std::uint32_t bytes,
+                          Tick start, unsigned &hops)
 {
-    const NodeId src = msg.src;
-    const NodeId dst = msg.dst;
-    if (src >= numNodes() || dst >= numNodes())
-        panic("mesh send with bad endpoint %u->%u", src, dst);
-
-    if (src == dst) {
+    hops = 0;
+    if (from == to) {
         // Local loopback: one-cycle turnaround, no link usage.
-        deliver(std::move(msg), 1, 0);
-        return;
+        return start + 1;
     }
 
     const Tick ser = std::max<Tick>(
-        1, (msg.bytes + config.linkBytesPerCycle - 1) /
-               config.linkBytesPerCycle);
+        1,
+        (bytes + config.linkBytesPerCycle - 1) / config.linkBytesPerCycle);
 
     // Walk the XY route, advancing time across each link and updating
     // its next-free tick (store-and-forward with contention).
-    Tick t = eventq.now() + config.routerDelay;
-    unsigned hops = 0;
-    int x = static_cast<int>(src % gridCols);
-    int y = static_cast<int>(src / gridCols);
-    const int dx = static_cast<int>(dst % gridCols);
-    const int dy = static_cast<int>(dst / gridCols);
-    NodeId cur = src;
+    Tick t = start + config.routerDelay;
+    int x = static_cast<int>(from % gridCols);
+    int y = static_cast<int>(from / gridCols);
+    const int dx = static_cast<int>(to % gridCols);
+    const int dy = static_cast<int>(to / gridCols);
+    NodeId cur = from;
 
     auto cross = [&](unsigned dir, NodeId next) {
         const std::size_t li = linkIndex(cur, dir);
@@ -106,12 +101,91 @@ MeshNetwork::send(Message msg)
             --y;
         }
     }
+    return t;
+}
 
-    Tick delay = t - eventq.now();
-    if (config.reorderJitter > 0)
+void
+MeshNetwork::send(Message msg)
+{
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
+    if (src >= numNodes() || dst >= numNodes())
+        panic("mesh send with bad endpoint %u->%u", src, dst);
+
+    unsigned hops = 0;
+    const Tick arrive =
+        routeArrival(src, dst, msg.bytes, eventq.now(), hops);
+    Tick delay = arrive - eventq.now();
+    if (hops != 0 && config.reorderJitter > 0)
         delay += jitterRng.below(config.reorderJitter + 1);
 
     deliver(std::move(msg), delay, hops);
+}
+
+MulticastReceipt
+MeshNetwork::doMulticast(const Message &proto,
+                         std::span<const NodeId> dsts)
+{
+    if (mcastCfg.topology != MulticastConfig::Topology::Tree ||
+        dsts.size() < mcastCfg.minDests) {
+        return Network::doMulticast(proto, dsts);
+    }
+
+    // Combining tree over the destination list (call sites pass it in
+    // ascending node order): the source feeds the first k destinations
+    // directly; destination index p relays to indices (p+1)*k .. +k-1.
+    // Ascending index order is a valid breadth-first schedule (a
+    // parent's index is always below its children's), so one pass
+    // computes every copy's injection and arrival. The whole staging
+    // is resolved analytically at send time against the current link
+    // state - exactly how send() resolves a point-to-point route - so
+    // relays need no forwarding events, and under PDES the tree lives
+    // entirely in the sending domain's timeline.
+    const std::uint32_t k = std::max<std::uint32_t>(2, mcastCfg.fanout);
+    const std::size_t n = dsts.size();
+    const Tick ser = std::max<Tick>(
+        1, (proto.bytes + config.linkBytesPerCycle - 1) /
+               config.linkBytesPerCycle);
+
+    mcArrival.assign(n, 0);
+    mcNicFree.assign(n + 1, 0); // slot 0 = source, i+1 = dsts[i]
+    mcNicPath.assign(n, 0);
+    mcDepth.assign(n, 0);
+
+    MulticastReceipt r;
+    r.dests = static_cast<std::uint32_t>(n);
+    const Tick now = eventq.now();
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool root = i < k;
+        const std::size_t pi = root ? 0 : i / k - 1;
+        const NodeId parent = root ? proto.src : dsts[pi];
+        // A relay re-injects one router pass after the copy reaches it.
+        const Tick ready =
+            root ? now : mcArrival[pi] + config.routerDelay;
+        const std::size_t slot = root ? 0 : pi + 1;
+        const Tick inject = std::max(ready, mcNicFree[slot]);
+        mcNicFree[slot] = inject + ser;
+        unsigned hops = 0;
+        const Tick arrive =
+            routeArrival(parent, dsts[i], proto.bytes, inject, hops);
+        mcArrival[i] = arrive;
+        const std::uint32_t rank = static_cast<std::uint32_t>(
+            root ? i : i - (pi + 1) * k);
+        mcNicPath[i] = (root ? 0 : mcNicPath[pi]) + rank + 1;
+        mcDepth[i] = (root ? 0 : mcDepth[pi]) + 1;
+        if (mcNicPath[i] > r.nicSerialized)
+            r.nicSerialized = mcNicPath[i];
+        if (mcDepth[i] > r.depth)
+            r.depth = mcDepth[i];
+
+        Message copy = proto;
+        copy.dst = dsts[i];
+        Tick delay = arrive - now;
+        if (hops != 0 && config.reorderJitter > 0)
+            delay += jitterRng.below(config.reorderJitter + 1);
+        deliver(std::move(copy), delay, hops);
+    }
+    return r;
 }
 
 } // namespace tcc

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "noc/message.hh"
@@ -21,6 +22,43 @@
 #include "sim/random.hh"
 
 namespace tcc {
+
+/**
+ * Commit fan-out delivery strategy (NetworkConfig::multicast).
+ *
+ * Flat is the paper's implicit model: the sender's NIC serializes one
+ * point-to-point copy per destination, so a commit touching D
+ * directories costs D serialized injections at one NIC - O(N) once
+ * commit degenerates into a broadcast. Tree stages the copies through
+ * a k-ary combining tree embedded in the mesh (relays are destination
+ * nodes; every edge still pays the full XY route with contention), so
+ * no NIC on the critical path serializes more than k copies per level:
+ * O(k log_k N) instead of O(N). The tree changes *timing only* - the
+ * same copies reach the same destinations, so protocol outcomes are
+ * unchanged (gated by tests and bench_scaling).
+ */
+struct MulticastConfig {
+    enum class Topology { Flat, Tree };
+    Topology topology = Topology::Flat;
+    /** Tree fan-out k (children per relay); >= 2. */
+    std::uint32_t fanout = 4;
+    /** Destination count below which even a configured tree falls
+     *  back to flat (staging overhead beats serialization savings
+     *  only once the fan-out is wide). */
+    std::uint32_t minDests = 8;
+};
+
+/** What one multicast cost (ledger + bench accounting). */
+struct MulticastReceipt {
+    /** Copies delivered (== destination count). */
+    std::uint32_t dests = 0;
+    /** Serialized NIC injections on the critical path: the maximum,
+     *  over destinations, of send events any single NIC queued ahead
+     *  of that copy's route. Flat: dests. Tree: O(k log_k dests). */
+    std::uint32_t nicSerialized = 0;
+    /** Relay levels traversed (1 for flat). */
+    std::uint32_t depth = 0;
+};
 
 /** Per-class traffic counters feeding the Figure 9 reproduction. */
 struct NetworkStats {
@@ -32,6 +70,10 @@ struct NetworkStats {
     /** Bytes received per node (Figure 9 is per-directory traffic). */
     std::vector<std::uint64_t> nodeBytes;
     std::uint64_t totalHops = 0;
+    /** Multicast fan-outs issued and their summed critical-path
+     *  NIC-serialized injections (the O(N)-vs-O(log N) axis). */
+    std::uint64_t multicasts = 0;
+    std::uint64_t multicastNicEvents = 0;
 
     void
     account(const Message &msg, unsigned hops)
@@ -59,6 +101,8 @@ struct NetworkStats {
              n < nodeBytes.size() && n < o.nodeBytes.size(); ++n)
             nodeBytes[n] += o.nodeBytes[n];
         totalHops += o.totalHops;
+        multicasts += o.multicasts;
+        multicastNicEvents += o.multicastNicEvents;
     }
 };
 
@@ -98,6 +142,29 @@ class Network
      */
     virtual void send(Message msg) = 0;
 
+    /**
+     * Deliver a copy of @p proto to every node in @p dsts, in list
+     * order. Call sites pass ascending destination lists; the flat
+     * strategy then emits exactly the per-destination send() loop it
+     * replaced, byte for byte. Mesh networks may stage the copies
+     * through a combining tree instead (see MulticastConfig) - same
+     * copies, different timing. @p proto.dst is ignored.
+     */
+    MulticastReceipt
+    multicast(const Message &proto, std::span<const NodeId> dsts)
+    {
+        if (dsts.empty())
+            return {};
+        const MulticastReceipt r = doMulticast(proto, dsts);
+        ++netStats.multicasts;
+        netStats.multicastNicEvents += r.nicSerialized;
+        return r;
+    }
+
+    /** Select the fan-out strategy (defaults to Flat). */
+    void setMulticast(const MulticastConfig &cfg) { mcastCfg = cfg; }
+    const MulticastConfig &multicastCfg() const { return mcastCfg; }
+
     /** Cumulative traffic statistics. */
     const NetworkStats &stats() const { return netStats; }
 
@@ -134,6 +201,27 @@ class Network
     void accumulateStats(const NetworkStats &s) { netStats.merge(s); }
 
   protected:
+    /**
+     * Flat fan-out: one point-to-point send per destination through
+     * the (possibly overridden, possibly decorated) send() - the
+     * default for every network model and the bit-identity baseline
+     * the tree strategies are gated against.
+     */
+    virtual MulticastReceipt
+    doMulticast(const Message &proto, std::span<const NodeId> dsts)
+    {
+        for (NodeId d : dsts) {
+            Message copy = proto;
+            copy.dst = d;
+            send(std::move(copy));
+        }
+        MulticastReceipt r;
+        r.dests = static_cast<std::uint32_t>(dsts.size());
+        r.nicSerialized = r.dests;
+        r.depth = 1;
+        return r;
+    }
+
     /** Stats + NetSend trace for one send (delivery handled by the
      *  caller: either deliver() below or a PDES mailbox). */
     void
@@ -166,6 +254,7 @@ class Network
     }
 
     EventQueue &eventq;
+    MulticastConfig mcastCfg;
 
   private:
     void
@@ -256,9 +345,26 @@ class MeshNetwork : public Network
     /** Manhattan hop count between two nodes. */
     unsigned hopCount(NodeId a, NodeId b) const;
 
+  protected:
+    /** Combining-tree staging when configured (Topology::Tree and a
+     *  wide enough destination list); flat otherwise. */
+    MulticastReceipt doMulticast(const Message &proto,
+                                 std::span<const NodeId> dsts) override;
+
   private:
     /** Directed link index from node @p n toward direction @p d. */
     std::size_t linkIndex(NodeId n, unsigned dir) const;
+
+    /**
+     * Walk the XY route from @p from, injected no earlier than
+     * @p start, advancing per-link next-free ticks (contention), and
+     * return the absolute arrival tick at @p to. @p from == @p to is
+     * the one-cycle local loopback (no link usage). send() and the
+     * tree multicast share this walk, so a tree edge pays exactly what
+     * a point-to-point message between its endpoints would.
+     */
+    Tick routeArrival(NodeId from, NodeId to, std::uint32_t bytes,
+                      Tick start, unsigned &hops);
 
     MeshConfig config;
     std::uint32_t gridCols;
@@ -266,6 +372,13 @@ class MeshNetwork : public Network
     /** Next-free tick per directed link (4 directions per node). */
     std::vector<Tick> linkFree;
     Rng jitterRng;
+    /** Tree-multicast scratch (sized on first use, then reused; never
+     *  touched on the flat path). mcNicFree slot 0 is the source,
+     *  slot i+1 is destination index i. */
+    std::vector<Tick> mcArrival;
+    std::vector<Tick> mcNicFree;
+    std::vector<std::uint32_t> mcNicPath;
+    std::vector<std::uint32_t> mcDepth;
 };
 
 } // namespace tcc

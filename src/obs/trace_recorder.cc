@@ -25,6 +25,7 @@ traceEventKindName(TraceEventKind k)
       case TraceEventKind::DirInvalidate: return "dir_invalidate";
       case TraceEventKind::NetSend: return "net_send";
       case TraceEventKind::NetDeliver: return "net_deliver";
+      case TraceEventKind::CommitFanout: return "commit_fanout";
       default: return "?";
     }
 }

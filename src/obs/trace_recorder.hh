@@ -76,6 +76,9 @@ enum class TraceEventKind : std::uint16_t {
     NetSend,    ///< node = src; a0 = address; a1 = packed route info
     NetDeliver, ///< node = dst; a0 = address; a1 = packed route info
 
+    CommitFanout, ///< a0 = directories touched (write + share-only),
+                  ///< a1 = NIC-serialized multicast events this attempt
+
     NumKinds,
 };
 

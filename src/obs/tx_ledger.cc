@@ -22,6 +22,8 @@ struct NodeFold {
     Tick probeRttMax = 0;
     Tick firstSkip = 0;
     Tick firstMark = 0;
+    std::uint64_t dirsTouched = 0;
+    std::uint64_t mcastEvents = 0;
     /** Outstanding probe send tick per target directory. */
     FlatMap<NodeId, Tick> probeSent;
 
@@ -33,6 +35,8 @@ struct NodeFold {
         commitStart = 0;
         firstSkip = 0;
         firstMark = 0;
+        dirsTouched = 0;
+        mcastEvents = 0;
         probeSent.clear();
     }
 
@@ -105,6 +109,11 @@ buildTxLedger(const TraceRecorder &rec)
             if (f.firstMark == 0)
                 f.firstMark = e.tick;
             break;
+          case TraceEventKind::CommitFanout:
+            // Emitted just before TxCommit by both commit paths.
+            f.dirsTouched = e.arg0;
+            f.mcastEvents = e.arg1;
+            break;
           case TraceEventKind::ViolationCause:
             f.hasViolation = true;
             f.violationAddr = e.arg0;
@@ -132,6 +141,8 @@ buildTxLedger(const TraceRecorder &rec)
             entry.probeRttMax = f.probeRttMax;
             entry.firstSkipTick = f.firstSkip;
             entry.firstMarkTick = f.firstMark;
+            entry.directoriesTouched = f.dirsTouched;
+            entry.multicastEvents = f.mcastEvents;
             out.push_back(entry);
             f.resetTxn();
             break;

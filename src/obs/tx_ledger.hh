@@ -55,6 +55,12 @@ struct TxLedgerEntry {
     Tick firstSkipTick = 0;
     Tick firstMarkTick = 0;
 
+    /** Directories this commit touched (write + share-only). */
+    std::uint64_t directoriesTouched = 0;
+    /** NIC-serialized multicast injections the committing attempt
+     *  charged (probe / skip fan-out; O(N) flat, O(k log N) tree). */
+    std::uint64_t multicastEvents = 0;
+
     Tick
     execCycles() const
     {

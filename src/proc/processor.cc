@@ -16,16 +16,17 @@ TccProcessor::TccProcessor(NodeId node, std::uint32_t num_nodes,
     : nodeId(node), numNodes(num_nodes), eventq(eq), network(net),
       homeMap(homes), globalStore(store), specCache(cache_cfg, arena),
       config(cfg), vendorNode(vendor_node), writeBuf(arena),
-      sharingVec(num_nodes), writingVec(num_nodes),
-      earlyAnswered(num_nodes),
+      sharingVec(num_nodes, arena), writingVec(num_nodes, arena),
+      earlyAnswered(num_nodes, arena),
       earlyNstid(num_nodes, kInvalidTid, ArenaAllocator<Tid>(arena)),
-      marksDone(num_nodes), sValidated(num_nodes),
+      marksDone(num_nodes, arena), sValidated(num_nodes, arena),
       marksCount(num_nodes, 0, ArenaAllocator<std::uint32_t>(arena)),
       writeSetByDir(
           num_nodes,
           LineVec(ArenaAllocator<SpecCache::WriteSetLine>(arena)),
           ArenaAllocator<LineVec>(arena)),
-      wsDirs(num_nodes)
+      wsDirs(num_nodes, arena),
+      mcastBuf(ArenaAllocator<NodeId>(arena))
 {
     // Pre-size the write buffer once: clear() keeps the bucket array,
     // so steady-state attempts never rehash.
@@ -41,6 +42,17 @@ TccProcessor::post(Message msg)
     if (msg.type == MsgType::Mark && config.writeThroughCommit)
         msg.bytes += specCache.cfg().lineBytes;
     network.send(std::move(msg));
+}
+
+void
+TccProcessor::postMulticast(Message msg, std::span<const NodeId> dsts)
+{
+    msg.src = nodeId;
+    msg.bytes = msgBytes(msg.type, specCache.cfg().lineBytes);
+    if (msg.type == MsgType::Mark && config.writeThroughCommit)
+        msg.bytes += specCache.cfg().lineBytes;
+    const MulticastReceipt r = network.multicast(msg, dsts);
+    attemptMcastNic += r.nicSerialized;
 }
 
 NodeId
@@ -129,6 +141,7 @@ TccProcessor::beginAttempt()
     attemptUseful = 0;
     attemptMiss = 0;
     attemptInstr = 0;
+    attemptMcastNic = 0;
     ++gen;
 
     // Aging: a repeatedly violated transaction requests its TID at the
@@ -407,11 +420,33 @@ TccProcessor::startCommit()
             req.dst = vendorNode;
             post(req);
         }
-        // Overlap the TID round trip with early NSTID probes.
-        for (NodeId d : wDirs)
-            sendProbe(d, kInvalidTid, true);
-        for (NodeId d : sOnlyDirs)
-            sendProbe(d, kInvalidTid, false);
+        // Overlap the TID round trip with early NSTID probes. Each
+        // group carries one payload, so it fans out as a multicast
+        // (flat mode emits the exact per-directory loop it replaced).
+        for (NodeId d : wDirs) {
+            traceEmit(tracer, TraceCat::Commit,
+                      TraceEventKind::ProbeSend, nodeId, kInvalidTid, d,
+                      1);
+        }
+        if (!wDirs.empty()) {
+            Message p;
+            p.type = MsgType::Probe;
+            p.tid = kInvalidTid;
+            p.wantWrite = true;
+            postMulticast(p, wDirs);
+        }
+        for (NodeId d : sOnlyDirs) {
+            traceEmit(tracer, TraceCat::Commit,
+                      TraceEventKind::ProbeSend, nodeId, kInvalidTid, d,
+                      0);
+        }
+        if (!sOnlyDirs.empty()) {
+            Message p;
+            p.type = MsgType::Probe;
+            p.tid = kInvalidTid;
+            p.wantWrite = false;
+            postMulticast(p, sOnlyDirs);
+        }
         return; // continue in onTidReply
     }
     proceedAfterTid();
@@ -440,17 +475,21 @@ TccProcessor::proceedAfterTid()
     skipsSent = true;
     // Multicast Skip to every directory outside the write-set,
     // including sharing-only directories (they will not see a commit
-    // from this TID).
+    // from this TID). This is the broadcast-at-scale hot spot the
+    // combining tree exists for: N - |wDirs| identical messages.
+    mcastBuf.clear();
     for (NodeId d = 0; d < numNodes; ++d) {
         if (writingVec.test(d))
             continue;
         traceEmit(tracer, TraceCat::Commit, TraceEventKind::SkipSend,
                   nodeId, tid, d);
+        mcastBuf.push_back(d);
+    }
+    if (!mcastBuf.empty()) {
         Message s;
         s.type = MsgType::Skip;
-        s.dst = d;
         s.tid = tid;
-        post(s);
+        postMulticast(s, mcastBuf);
     }
     for (NodeId d : wDirs) {
         if (earlyAnswered.test(d) && earlyNstid[d] == tid)
@@ -593,6 +632,11 @@ TccProcessor::completeCommit()
                "%llu: proc %u commits tid=%llu reads=%zu writes=%zu",
                (unsigned long long)eventq.now(), nodeId,
                (unsigned long long)tid, readLog.size(), writeBuf.size());
+    // Emitted before TxCommit so ledger folds see the fan-out numbers
+    // while the transaction record is still open.
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::CommitFanout,
+              nodeId, tid, wDirs.size() + sOnlyDirs.size(),
+              attemptMcastNic);
     traceEmit(tracer, TraceCat::Commit, TraceEventKind::TxCommit,
               nodeId, tid, readLog.size(), writeBuf.size());
 
@@ -612,13 +656,14 @@ TccProcessor::completeCommit()
         post(c);
     }
 
-    recordCommitStats(wDirs.size());
+    recordCommitStats(wDirs.size(), wDirs.size() + sOnlyDirs.size());
     specCache.commitSpec(tid, !config.writeThroughCommit);
     finishTransaction();
 }
 
 void
-TccProcessor::recordCommitStats(std::size_t dirs_touched)
+TccProcessor::recordCommitStats(std::size_t write_dirs,
+                                std::size_t dirs_touched)
 {
     // Table 3 statistics (before clearing speculative state).
     const auto ws = specCache.writeSet();
@@ -633,7 +678,11 @@ TccProcessor::recordCommitStats(std::size_t dirs_touched)
             static_cast<double>(writeBuf.size()));
     }
     procStats.dirsPerCommit.sample(
+        static_cast<double>(write_dirs));
+    procStats.dirsTouchedPerCommit.sample(
         static_cast<double>(dirs_touched));
+    procStats.multicastNicPerCommit.sample(
+        static_cast<double>(attemptMcastNic));
 
     const Tick commit_cycles = eventq.now() - commitStart;
     procStats.commitLatency.sample(static_cast<double>(commit_cycles));
@@ -667,8 +716,17 @@ TccProcessor::startSoloAcquisition()
     // transaction retired there. Once all replies arrive, nothing can
     // violate this transaction and nothing younger can commit anywhere.
     soloProbesPending = numNodes;
-    for (NodeId d = 0; d < numNodes; ++d)
-        sendProbe(d, tid, true);
+    mcastBuf.clear();
+    for (NodeId d = 0; d < numNodes; ++d) {
+        traceEmit(tracer, TraceCat::Commit, TraceEventKind::ProbeSend,
+                  nodeId, tid, d, 1);
+        mcastBuf.push_back(d);
+    }
+    Message p;
+    p.type = MsgType::Probe;
+    p.tid = tid;
+    p.wantWrite = true;
+    postMulticast(p, mcastBuf);
 }
 
 std::vector<std::pair<Addr, std::uint64_t>>
@@ -743,8 +801,6 @@ void
 TccProcessor::soloCommit()
 {
     validated = true;
-    traceEmit(tracer, TraceCat::Commit, TraceEventKind::TxCommit,
-              nodeId, tid, readLog.size(), writeBuf.size());
     for (const auto &[addr, value] : writeBuf)
         globalStore.write(addr, value);
     if (commitHook)
@@ -774,17 +830,29 @@ TccProcessor::soloCommit()
         c.numMarks = static_cast<std::uint32_t>(lines.size());
         post(c);
     }
+    mcastBuf.clear();
     for (NodeId d = 0; d < numNodes; ++d) {
-        if (wsDirs.test(d))
-            continue;
+        if (!wsDirs.test(d))
+            mcastBuf.push_back(d);
+    }
+    if (!mcastBuf.empty()) {
         Message skip;
         skip.type = MsgType::Skip;
-        skip.dst = d;
         skip.tid = tid;
-        post(skip);
+        postMulticast(skip, mcastBuf);
     }
 
-    recordCommitStats(wsDirs.count());
+    // CommitFanout must precede TxCommit so ledger folds see the
+    // fan-out numbers while the transaction record is still open; the
+    // emission is deferred past the Skip multicast above so the NIC
+    // count is final. Same tick, so the projected golden-trace order
+    // is unchanged.
+    const std::size_t solo_dirs = wsDirs.count();
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::CommitFanout,
+              nodeId, tid, solo_dirs, attemptMcastNic);
+    traceEmit(tracer, TraceCat::Commit, TraceEventKind::TxCommit,
+              nodeId, tid, readLog.size(), writeBuf.size());
+    recordCommitStats(solo_dirs, solo_dirs);
     ++procStats.soloCommits;
     specCache.commitSpec(tid);
     specCache.setSrTracking(true);

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/spec_cache.hh"
@@ -154,6 +155,11 @@ class TccProcessor
         Distribution opsPerWordWritten;
         Distribution dirsPerCommit;
         Distribution commitLatency;
+        /** Write + sharing-only dirs the commit engine talked to. */
+        Distribution dirsTouchedPerCommit;
+        /** NIC-serialized multicast send events per commit attempt
+         *  (the O(N)-vs-O(log N) fan-out cost; see noc/network.hh). */
+        Distribution multicastNicPerCommit;
     };
 
     const Stats &stats() const { return procStats; }
@@ -192,7 +198,8 @@ class TccProcessor
     /** (addr, value) pairs of the write buffer for the commit hook. */
     std::vector<std::pair<Addr, std::uint64_t>> writeLogForHook() const;
     void startCommit();
-    void recordCommitStats(std::size_t dirs_touched);
+    void recordCommitStats(std::size_t write_dirs,
+                           std::size_t dirs_touched);
     void proceedAfterTid();
     /** Post one Probe (all probe emission funnels through here). */
     void sendProbe(NodeId dir, Tid probe_tid, bool want_write);
@@ -216,6 +223,10 @@ class TccProcessor
     void onPartialAck(const Message &msg);
 
     void post(Message msg);
+    /** Stamp src/bytes once and hand @p msg to the network's multicast
+     *  engine for delivery to every node in @p dsts (ascending).
+     *  Accumulates the NIC-serialized send count into the attempt. */
+    void postMulticast(Message msg, std::span<const NodeId> dsts);
 
     // --- identity / environment -------------------------------------
     NodeId nodeId;
@@ -281,6 +292,10 @@ class TccProcessor
                                 ArenaAllocator<SpecCache::WriteSetLine>>;
     std::vector<LineVec, ArenaAllocator<LineVec>> writeSetByDir;
     NodeSet wsDirs;
+    /** Scratch destination list for multicast emission (reused). */
+    std::vector<NodeId, ArenaAllocator<NodeId>> mcastBuf;
+    /** NIC-serialized multicast sends charged to this attempt. */
+    std::uint64_t attemptMcastNic = 0;
 
     // --- miss handling -----------------------------------------------
     struct Mshr {

@@ -140,26 +140,36 @@ DomainNet::route(Message msg)
 Tick
 DomainNet::meshDelay(const Message &msg, unsigned &hops)
 {
-    const NodeId src = msg.src;
-    const NodeId dst = msg.dst;
+    const Tick arrive =
+        meshArrival(msg.src, msg.dst, msg.bytes, eventq.now(), hops);
+    Tick delay = arrive - eventq.now();
+    if (hops != 0 && config.mesh.reorderJitter > 0)
+        delay += jitterRng.below(config.mesh.reorderJitter + 1);
+    return delay;
+}
+
+Tick
+DomainNet::meshArrival(NodeId from, NodeId to, std::uint32_t bytes,
+                       Tick start, unsigned &hops)
+{
     hops = 0;
-    if (src == dst)
-        return 1; // local loopback: one-cycle turnaround
+    if (from == to)
+        return start + 1; // local loopback: one-cycle turnaround
 
     const MeshConfig &m = config.mesh;
     const Tick ser = std::max<Tick>(
-        1, (msg.bytes + m.linkBytesPerCycle - 1) / m.linkBytesPerCycle);
+        1, (bytes + m.linkBytesPerCycle - 1) / m.linkBytesPerCycle);
 
     // Walk the XY route exactly as MeshNetwork does, except that only
     // links owned by this domain (by source grid row) model contention
     // through linkFree; foreign links contribute the uncontended
     // crossing cost without touching shared state.
-    Tick t = eventq.now() + m.routerDelay;
-    int x = static_cast<int>(src % plan.gridCols);
-    int y = static_cast<int>(src / plan.gridCols);
-    const int dx = static_cast<int>(dst % plan.gridCols);
-    const int dy = static_cast<int>(dst / plan.gridCols);
-    NodeId cur = src;
+    Tick t = start + m.routerDelay;
+    int x = static_cast<int>(from % plan.gridCols);
+    int y = static_cast<int>(from / plan.gridCols);
+    const int dx = static_cast<int>(to % plan.gridCols);
+    const int dy = static_cast<int>(to / plan.gridCols);
+    NodeId cur = from;
 
     auto cross = [&](unsigned dir, NodeId next) {
         if (plan.rowDomain[cur / plan.gridCols] == spec.id) {
@@ -193,11 +203,78 @@ DomainNet::meshDelay(const Message &msg, unsigned &hops)
             --y;
         }
     }
+    return t;
+}
 
-    Tick delay = t - eventq.now();
-    if (m.reorderJitter > 0)
-        delay += jitterRng.below(m.reorderJitter + 1);
-    return delay;
+MulticastReceipt
+DomainNet::doMulticast(const Message &proto,
+                       std::span<const NodeId> dsts)
+{
+    // The tree engages only on a plain mesh (validate() rejects it
+    // combined with chaos or an ideal base), and only past the
+    // destination-count threshold.
+    if (mcastCfg.topology != MulticastConfig::Topology::Tree ||
+        !config.meshBased || config.chaos ||
+        dsts.size() < mcastCfg.minDests) {
+        return Network::doMulticast(proto, dsts);
+    }
+
+    // Same k-ary layout and one-pass schedule as
+    // MeshNetwork::doMulticast (see that function and DESIGN.md sec.
+    // 12); the only difference is each copy's disposition: own-domain
+    // destinations deliver through this domain's queue, cross-domain
+    // destinations park in the mailbox with their final arrival tick.
+    const std::uint32_t k = std::max<std::uint32_t>(2, mcastCfg.fanout);
+    const std::size_t n = dsts.size();
+    const MeshConfig &m = config.mesh;
+    const Tick ser = std::max<Tick>(
+        1, (proto.bytes + m.linkBytesPerCycle - 1) /
+               m.linkBytesPerCycle);
+
+    mcArrival.assign(n, 0);
+    mcNicFree.assign(n + 1, 0); // slot 0 = source, i+1 = dsts[i]
+    mcNicPath.assign(n, 0);
+    mcDepth.assign(n, 0);
+
+    MulticastReceipt r;
+    r.dests = static_cast<std::uint32_t>(n);
+    const Tick now = eventq.now();
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool root = i < k;
+        const std::size_t pi = root ? 0 : i / k - 1;
+        const NodeId parent = root ? proto.src : dsts[pi];
+        const Tick ready = root ? now : mcArrival[pi] + m.routerDelay;
+        const std::size_t slot = root ? 0 : pi + 1;
+        const Tick inject = std::max(ready, mcNicFree[slot]);
+        mcNicFree[slot] = inject + ser;
+        unsigned hops = 0;
+        const Tick arrive =
+            meshArrival(parent, dsts[i], proto.bytes, inject, hops);
+        mcArrival[i] = arrive;
+        const std::uint32_t rank = static_cast<std::uint32_t>(
+            root ? i : i - (pi + 1) * k);
+        mcNicPath[i] = (root ? 0 : mcNicPath[pi]) + rank + 1;
+        mcDepth[i] = (root ? 0 : mcDepth[pi]) + 1;
+        if (mcNicPath[i] > r.nicSerialized)
+            r.nicSerialized = mcNicPath[i];
+        if (mcDepth[i] > r.depth)
+            r.depth = mcDepth[i];
+
+        Message copy = proto;
+        copy.dst = dsts[i];
+        Tick delay = arrive - now;
+        if (hops != 0 && m.reorderJitter > 0)
+            delay += jitterRng.below(m.reorderJitter + 1);
+        const std::uint32_t dst_dom = plan.nodeDomain[copy.dst];
+        if (dst_dom == spec.id) {
+            deliver(std::move(copy), delay, hops);
+            continue;
+        }
+        accountSend(copy, hops);
+        ++crossCount;
+        outbox[dst_dom].push_back(Parcel{std::move(copy), now + delay});
+    }
+    return r;
 }
 
 Tick

@@ -159,9 +159,27 @@ class DomainNet : public Network
      *  (PdesState::flushMailboxes) between windows. */
     std::vector<std::vector<Parcel>> outbox;
 
+  protected:
+    /**
+     * Combining-tree staging under PDES. The whole tree is resolved
+     * analytically in the *sending* domain's timeline at multicast
+     * time (owned links with contention, foreign links additive -
+     * the same ownership rule as point-to-point routes), so relays
+     * never need forwarding events in foreign domains. Each copy is
+     * then delivered locally or parked in its destination domain's
+     * mailbox with its final arrival tick; every cross-domain copy
+     * crosses at least one full link, so the lookahead bound holds.
+     */
+    MulticastReceipt doMulticast(const Message &proto,
+                                 std::span<const NodeId> dsts) override;
+
   private:
     void route(Message msg);
     Tick meshDelay(const Message &msg, unsigned &hops);
+    /** XY-route arrival tick from @p from (injected >= @p start) to
+     *  @p to; shared by meshDelay and the tree multicast. */
+    Tick meshArrival(NodeId from, NodeId to, std::uint32_t bytes,
+                     Tick start, unsigned &hops);
     Tick chaosExtra();
 
     DomainSpec spec;
@@ -174,6 +192,11 @@ class DomainNet : public Network
     /** Parking slab for lagged chaos duplicates. */
     ObjectPool<Message> dupPool;
     std::uint64_t crossCount = 0;
+    /** Tree-multicast scratch (see MeshNetwork; unused when flat). */
+    std::vector<Tick> mcArrival;
+    std::vector<Tick> mcNicFree;
+    std::vector<std::uint32_t> mcNicPath;
+    std::vector<std::uint32_t> mcDepth;
 };
 
 /**

@@ -107,6 +107,46 @@ TEST(ConfigValidate, DuplicationNeedsLag)
     EXPECT_EQ(cfg.validate(), "");
 }
 
+TEST(ConfigValidate, ProcCountCappedAt4096)
+{
+    // The wide NodeSet scales arbitrarily, but the cap keeps an
+    // accidental numProcs typo from allocating a city block of
+    // directories. 4096 itself is allowed (it is a power of two).
+    SystemConfig cfg;
+    cfg.numProcs = 4096;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.numProcs = 8192;
+    EXPECT_NE(cfg.validate().find("4096"), std::string::npos);
+}
+
+TEST(ConfigValidate, TreeMulticastNeedsPlainMesh)
+{
+    SystemConfig cfg;
+    cfg.network.multicast.topology = MulticastConfig::Topology::Tree;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.network.model = NetworkConfig::Model::Ideal;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.model = NetworkConfig::Model::Chaos;
+    EXPECT_NE(cfg.validate(), "");
+    cfg.network.model = NetworkConfig::Model::Mesh;
+    cfg.network.multicast.topology = MulticastConfig::Topology::Flat;
+    EXPECT_EQ(cfg.validate(), ""); // flat works everywhere
+}
+
+TEST(ConfigValidate, TreeFanoutAtLeastTwo)
+{
+    SystemConfig cfg;
+    cfg.network.multicast.topology = MulticastConfig::Topology::Tree;
+    cfg.network.multicast.fanout = 1;
+    EXPECT_NE(cfg.validate().find("fanout"), std::string::npos);
+    cfg.network.multicast.fanout = 2;
+    EXPECT_EQ(cfg.validate(), "");
+    // Flat mode never reads the fanout, so a bad value is harmless.
+    cfg.network.multicast.topology = MulticastConfig::Topology::Flat;
+    cfg.network.multicast.fanout = 0;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
 TEST(ConfigValidate, ErrorsAreDescriptive)
 {
     SystemConfig cfg;

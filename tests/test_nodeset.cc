@@ -4,8 +4,12 @@
  * vectors).
  */
 
+#include <bitset>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
+#include "common/arena.hh"
 #include "common/nodeset.hh"
 
 namespace tcc {
@@ -81,6 +85,170 @@ TEST(NodeSet, Equality)
     EXPECT_TRUE(a == b);
     b.set(2);
     EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------
+// Size-generic storage: property tests against a std::bitset model at
+// the inline/wide boundary (255/256/257) and at the 1024-node scaling
+// size. A tiny deterministic LCG drives a mixed op sequence; after
+// every op the NodeSet must agree with the model on membership,
+// population, emptiness, remote-sharer and intersection queries, and
+// in-order iteration.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kModelBits = 1024;
+
+std::uint64_t
+lcg(std::uint64_t &s)
+{
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+}
+
+void
+expectMatchesModel(const NodeSet &s,
+                   const std::bitset<kModelBits> &model,
+                   std::uint32_t nodes)
+{
+    ASSERT_EQ(s.count(), model.count());
+    ASSERT_EQ(s.empty(), model.none());
+    std::vector<NodeId> expect;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        ASSERT_EQ(s.test(n), model.test(n)) << "node " << n;
+        if (model.test(n))
+            expect.push_back(n);
+    }
+    ASSERT_EQ(s.toVector(), expect);
+}
+
+void
+propertyTestAt(std::uint32_t nodes, Arena *arena)
+{
+    NodeSet s(nodes, arena);
+    std::bitset<kModelBits> model;
+    std::uint64_t rng = 0x5eed0000 + nodes;
+
+    for (int step = 0; step < 2000; ++step) {
+        const NodeId n = static_cast<NodeId>(lcg(rng) % nodes);
+        switch (lcg(rng) % 8) {
+          case 0:
+          case 1:
+          case 2:
+            s.set(n);
+            model.set(n);
+            break;
+          case 3:
+            s.clear(n);
+            model.reset(n);
+            break;
+          case 4: {
+            // anyBesides == "any member other than n".
+            std::bitset<kModelBits> rest = model;
+            rest.reset(n);
+            ASSERT_EQ(s.anyBesides(n), rest.any());
+            break;
+          }
+          case 5: {
+            // intersects against a singleton probe set.
+            NodeSet probe(nodes, arena);
+            probe.set(n);
+            ASSERT_EQ(s.intersects(probe), model.test(n));
+            ASSERT_EQ(probe.intersects(s), model.test(n));
+            break;
+          }
+          case 6: {
+            // merge from a small random set.
+            NodeSet other(nodes, arena);
+            std::bitset<kModelBits> otherModel;
+            for (int i = 0; i < 5; ++i) {
+                const NodeId m =
+                    static_cast<NodeId>(lcg(rng) % nodes);
+                other.set(m);
+                otherModel.set(m);
+            }
+            ASSERT_EQ(s.intersects(other),
+                      (model & otherModel).any());
+            s.merge(other);
+            model |= otherModel;
+            break;
+          }
+          case 7:
+            if (lcg(rng) % 64 == 0) {
+                s.clearAll();
+                model.reset();
+            }
+            break;
+        }
+        if (step % 257 == 0)
+            expectMatchesModel(s, model, nodes);
+    }
+    expectMatchesModel(s, model, nodes);
+}
+
+TEST(NodeSetWide, PropertyAtBoundarySizes)
+{
+    // 255/256 exercise the last inline configurations, 257 the first
+    // wide one, 1024 the scaling-sweep size.
+    for (std::uint32_t nodes : {255u, 256u, 257u, 1024u})
+        propertyTestAt(nodes, nullptr);
+}
+
+TEST(NodeSetWide, PropertyArenaBacked)
+{
+    Arena arena;
+    for (std::uint32_t nodes : {257u, 1024u})
+        propertyTestAt(nodes, &arena);
+}
+
+TEST(NodeSetWide, WordBoundaryMembership)
+{
+    NodeSet s(1024);
+    for (NodeId n : {0u, 63u, 64u, 255u, 256u, 257u, 511u, 512u,
+                     1023u}) {
+        s.set(n);
+        EXPECT_TRUE(s.test(n));
+    }
+    EXPECT_EQ(s.count(), 9u);
+    EXPECT_EQ(s.toVector(),
+              (std::vector<NodeId>{0, 63, 64, 255, 256, 257, 511, 512,
+                                   1023}));
+    EXPECT_TRUE(s.anyBesides(0));
+    s.clear(1023);
+    EXPECT_FALSE(s.test(1023));
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(NodeSetWide, CopyAndAssignKeepContents)
+{
+    Arena arena;
+    NodeSet a(1024, &arena);
+    a.set(3);
+    a.set(700);
+    NodeSet b = a;
+    EXPECT_TRUE(b == a);
+    // Re-assignment mirrors Directory::entry() refreshing a sharers
+    // set: the assigned-to set adopts the source's storage.
+    NodeSet c(1024);
+    c = NodeSet(1024, &arena);
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_TRUE(c.test(700));
+}
+
+TEST(NodeSetWide, MergeFromSmallerCapacity)
+{
+    NodeSet wide(1024);
+    NodeSet narrow(64);
+    narrow.set(5);
+    narrow.set(63);
+    wide.merge(narrow);
+    EXPECT_TRUE(wide.test(5));
+    EXPECT_TRUE(wide.test(63));
+    EXPECT_EQ(wide.count(), 2u);
+    // And the reverse only consults the overlapping words.
+    NodeSet narrow2(64);
+    narrow2.merge(wide);
+    EXPECT_EQ(narrow2.count(), 2u);
 }
 
 } // namespace
