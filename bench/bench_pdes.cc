@@ -2,23 +2,40 @@
  * @file
  * Parallel single-run (PDES) engine benchmark with a machine-readable
  * result (BENCH_pdes.json): simulated events/sec of one System run
- * across processor counts and worker-thread counts.
+ * across processor counts, worker-thread counts, and barrier sync
+ * modes (fixed lookahead grid vs adaptive variable-width windows).
  *
- * The grid is procs x jobs with the domain count fixed per processor
- * count (the partition is part of the simulation model; jobs is not).
- * Before any timing is reported, every jobs > 1 point is checked
- * bit-identical to the jobs = 1 point of the same row - a mismatch
- * fails the benchmark: a PDES run's result must be a pure function of
- * (config, seeds, domain count), never of the thread count.
+ * The grid is procs x jobs x sync with the domain count fixed per
+ * processor count (the partition is part of the simulation model; jobs
+ * and sync are not). Before any timing is reported, two identity gates
+ * run:
+ *  - every jobs > 1 point must be bit-identical to the jobs = 1 point
+ *    of the same (row, sync) - the result is a pure function of
+ *    (config, seeds, domain count), never of the thread count;
+ *  - the adaptive jobs = 1 point must be bit-identical to the fixed
+ *    jobs = 1 point of the same row in everything except the barrier
+ *    cadence counters (windows, empty broadcasts, window widths) -
+ *    deferring a barrier that had nothing to publish must not change
+ *    the simulation.
  *
- * The speedup gate only arms on hardware that can actually run the
- * workers side by side (>= 4 hardware threads); single-core machines
- * still run the full determinism gate. The JSON records
+ * Perf gates: adaptive must close at least 5x fewer windows than fixed
+ * (every row), and on the headline row the adaptive jobs = 1 run must
+ * beat the fixed jobs = 1 throughput (full runs only; the smoke
+ * workload is too short to time). The in-binary ratio understates the
+ * PR that introduced adaptive sync - its barrier micro-fixes (idle
+ * domain skip, empty-broadcast skip, pulse-array coordination) apply
+ * under fixed sync too - so the JSON also records the throughput
+ * relative to the pre-adaptive engine (kSeedEventsPerSecJobs1, the
+ * bench_kernel speedup_vs_seed_kernel idiom; recorded, not gated,
+ * since an absolute rate is machine-specific). The jobs = 4 speedup
+ * gate only arms on hardware that can actually run the workers side
+ * by side (>= 4 hardware threads). The JSON records
  * hardware_concurrency so a trend reader knows which case produced
  * each file.
  *
- * Usage: bench_pdes [--smoke] [--out PATH]
+ * Usage: bench_pdes [--smoke] [--sync fixed|adaptive|both] [--out PATH]
  *   --smoke   16 procs, jobs {1,2}, tiny workload (CI wiring check)
+ *   --sync    which barrier modes to sweep (default both)
  *   --out     JSON output path (default BENCH_pdes.json)
  */
 
@@ -43,6 +60,13 @@ namespace {
 
 using namespace tcc;
 
+/** Headline-row (barnes, 16 procs, 4 domains) jobs = 1 events/sec of
+ *  the engine before variable lookahead landed: every sub-phase closed
+ *  a window, touched every domain, and broadcast every (mostly empty)
+ *  write log. Measured on the machine that produced the committed
+ *  BENCH_pdes.json; only meaningful relative to rates measured there. */
+constexpr double kSeedEventsPerSecJobs1 = 2.56e6;
+
 double
 seconds(std::chrono::steady_clock::time_point a,
         std::chrono::steady_clock::time_point b)
@@ -50,21 +74,29 @@ seconds(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double>(b - a).count();
 }
 
-/** Everything the determinism gate compares, plus the timing. */
+/** Everything the determinism gates compare, plus the timing. */
 struct Point {
     std::uint32_t procs = 0;
     std::uint32_t domains = 0;
     std::uint32_t jobs = 0;
+    const char *sync = "";
     double wallSec = 0;
     double eventsPerSec = 0;
     RunResult res;
 };
 
-/** The jobs = 1 result every jobs > 1 run of the same row must
- *  reproduce bit for bit. pdes.jobs is the one excluded field: it
- *  records the thread count itself. */
+/**
+ * The jobs = 1 result every jobs > 1 run of the same (row, sync) must
+ * reproduce bit for bit; pdes.jobs is the one excluded field (it
+ * records the thread count itself). With @p cross_sync the same
+ * comparison runs across barrier modes: only the cadence bookkeeping
+ * (windows, empty-broadcast count, window widths, the mode flag) may
+ * differ - simulated time, events, commits, traffic, phase count, and
+ * idle-domain skips must all match.
+ */
 bool
-sameResult(const RunResult &a, const RunResult &b, std::string *why)
+sameResult(const RunResult &a, const RunResult &b, bool cross_sync,
+           std::string *why)
 {
 #define CMP(field)                                                     \
     do {                                                               \
@@ -88,8 +120,14 @@ sameResult(const RunResult &a, const RunResult &b, std::string *why)
     CMP(breakdown.violation);
     CMP(pdes.domains);
     CMP(pdes.lookahead);
-    CMP(pdes.windows);
+    CMP(pdes.phases);
     CMP(pdes.mailboxMessages);
+    CMP(pdes.idleDomainSkips);
+    if (!cross_sync) {
+        CMP(pdes.adaptive);
+        CMP(pdes.windows);
+        CMP(pdes.emptyBroadcastsSkipped);
+    }
     if (a.procs.size() != b.procs.size() ||
         a.dirs.size() != b.dirs.size()) {
         *why = "stats vector size";
@@ -112,13 +150,15 @@ sameResult(const RunResult &a, const RunResult &b, std::string *why)
 
 Point
 runPoint(const std::string &app, std::uint32_t procs,
-         std::uint32_t domains, std::uint32_t jobs, bool smoke)
+         std::uint32_t domains, std::uint32_t jobs,
+         PdesConfig::Sync sync, bool smoke)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
     cfg.homePolicy = HomePolicy::Interleave;
     cfg.pdes.domains = domains;
     cfg.pdes.jobs = jobs;
+    cfg.pdes.sync = sync;
     System sys(cfg);
     AppProfile prof = appProfile(app);
     if (smoke) {
@@ -134,6 +174,7 @@ runPoint(const std::string &app, std::uint32_t procs,
     pt.procs = procs;
     pt.domains = domains;
     pt.jobs = jobs;
+    pt.sync = sync == PdesConfig::Sync::Adaptive ? "adaptive" : "fixed";
     pt.wallSec = seconds(t0, t1);
     pt.eventsPerSec = static_cast<double>(res.events) / pt.wallSec;
     pt.res = std::move(res);
@@ -147,17 +188,32 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string outPath = "BENCH_pdes.json";
+    std::string syncArg = "both";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--sync") == 0 && i + 1 < argc) {
+            syncArg = argv[++i];
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] "
+                         "[--sync fixed|adaptive|both] [--out PATH]\n",
                          argv[0]);
             return 2;
         }
     }
+    std::vector<PdesConfig::Sync> syncs;
+    if (syncArg == "fixed" || syncArg == "both")
+        syncs.push_back(PdesConfig::Sync::Fixed);
+    if (syncArg == "adaptive" || syncArg == "both")
+        syncs.push_back(PdesConfig::Sync::Adaptive);
+    if (syncs.empty()) {
+        std::fprintf(stderr, "unknown --sync '%s'\n", syncArg.c_str());
+        return 2;
+    }
+    const bool bothSyncs = syncs.size() == 2;
 
     // Domain count per processor count: one domain per mesh-row block
     // of 2 rows (16 procs: 4x4 grid -> 4 domains of one row each is
@@ -182,71 +238,150 @@ main(int argc, char **argv)
 
     std::vector<Point> points;
     bool deterministic = true;
+    bool crossSyncIdentical = true;
     double speedupJ4 = 0.0; // largest-procs row, jobs 4 vs jobs 1
+    double epsJobs1Fixed = 0.0;    // headline row
+    double epsJobs1Adaptive = 0.0; // headline row
+    double windowReduction = 0.0;  // min over rows, jobs = 1
     for (const Row &row : rows) {
-        RunResult baseRes;
-        double baseWall = 0;
-        for (std::uint32_t jobs : jobsList) {
-            // The engine clamps jobs to the domain count, so a request
-            // beyond it reruns an already-measured point and would
-            // emit a duplicate JSON row (same procs + effective jobs).
-            if (jobs > row.domains) {
-                const std::uint32_t effective = row.domains;
-                bool dup = false;
-                for (std::uint32_t j : jobsList) {
-                    if (j < jobs &&
-                        std::min(j, row.domains) == effective) {
-                        dup = true;
-                        break;
+        RunResult fixedBase; // fixed-sync jobs = 1 of this row
+        bool haveFixedBase = false;
+        for (PdesConfig::Sync sync : syncs) {
+            RunResult baseRes;
+            double baseWall = 0;
+            for (std::uint32_t jobs : jobsList) {
+                // The engine clamps jobs to the domain count, so a
+                // request beyond it reruns an already-measured point
+                // and would emit a duplicate JSON row (same procs +
+                // effective jobs + sync).
+                if (jobs > row.domains) {
+                    const std::uint32_t effective = row.domains;
+                    bool dup = false;
+                    for (std::uint32_t j : jobsList) {
+                        if (j < jobs &&
+                            std::min(j, row.domains) == effective) {
+                            dup = true;
+                            break;
+                        }
+                    }
+                    if (dup) {
+                        std::printf("%-8s procs=%-4u domains=%-3u "
+                                    "jobs=%-2u %-8s : skipped (clamps "
+                                    "to jobs=%u, already measured)\n",
+                                    row.app, row.procs, row.domains,
+                                    jobs,
+                                    sync == PdesConfig::Sync::Adaptive
+                                        ? "adaptive"
+                                        : "fixed",
+                                    effective);
+                        continue;
                     }
                 }
-                if (dup) {
-                    std::printf("%-8s procs=%-4u domains=%-3u "
-                                "jobs=%-2u : skipped (clamps to "
-                                "jobs=%u, already measured)\n",
-                                row.app, row.procs, row.domains, jobs,
-                                effective);
+                points.push_back(runPoint(row.app, row.procs,
+                                          row.domains, jobs, sync,
+                                          smoke));
+                const Point &pt = points.back();
+                std::printf(
+                    "%-8s procs=%-4u domains=%-3u jobs=%-2u %-8s : "
+                    "%9.3f sec  %12.0f events/sec  "
+                    "(%llu windows, %llu mailbox msgs)\n",
+                    row.app, row.procs, row.domains, jobs, pt.sync,
+                    pt.wallSec, pt.eventsPerSec,
+                    (unsigned long long)pt.res.pdes.windows,
+                    (unsigned long long)pt.res.pdes.mailboxMessages);
+                if (!pt.res.completed) {
+                    std::fprintf(stderr,
+                                 "FAIL: run did not complete\n");
+                    return 1;
+                }
+                if (jobs == 1) {
+                    baseRes = pt.res;
+                    baseWall = pt.wallSec;
+                    if (sync == PdesConfig::Sync::Fixed) {
+                        fixedBase = pt.res;
+                        haveFixedBase = true;
+                        if (&row == &rows.front())
+                            epsJobs1Fixed = pt.eventsPerSec;
+                    } else {
+                        if (&row == &rows.front())
+                            epsJobs1Adaptive = pt.eventsPerSec;
+                        std::string why;
+                        if (haveFixedBase &&
+                            !sameResult(fixedBase, pt.res,
+                                        /*cross_sync=*/true, &why)) {
+                            std::fprintf(
+                                stderr,
+                                "MISMATCH at procs=%u: '%s' differs "
+                                "between fixed and adaptive sync - "
+                                "deferred barriers changed the "
+                                "simulation\n",
+                                row.procs, why.c_str());
+                            crossSyncIdentical = false;
+                        }
+                        if (haveFixedBase &&
+                            pt.res.pdes.windows != 0) {
+                            const double r =
+                                static_cast<double>(
+                                    fixedBase.pdes.windows) /
+                                static_cast<double>(
+                                    pt.res.pdes.windows);
+                            if (windowReduction == 0.0 ||
+                                r < windowReduction)
+                                windowReduction = r;
+                        }
+                    }
                     continue;
                 }
+                std::string why;
+                if (!sameResult(baseRes, pt.res, /*cross_sync=*/false,
+                                &why)) {
+                    std::fprintf(
+                        stderr,
+                        "MISMATCH at procs=%u jobs=%u sync=%s: '%s' "
+                        "differs from the jobs=1 run - PDES result "
+                        "depends on the thread count\n",
+                        row.procs, jobs, pt.sync, why.c_str());
+                    deterministic = false;
+                }
+                if (&row == &rows.back() && jobs == 4 &&
+                    sync == syncs.back())
+                    speedupJ4 = baseWall / pt.wallSec;
             }
-            points.push_back(
-                runPoint(row.app, row.procs, row.domains, jobs, smoke));
-            const Point &pt = points.back();
-            std::printf("%-8s procs=%-4u domains=%-3u jobs=%-2u : "
-                        "%9.3f sec  %12.0f events/sec  "
-                        "(%llu windows, %llu mailbox msgs)\n",
-                        row.app, row.procs, row.domains, jobs,
-                        pt.wallSec, pt.eventsPerSec,
-                        (unsigned long long)pt.res.pdes.windows,
-                        (unsigned long long)pt.res.pdes.mailboxMessages);
-            if (!pt.res.completed) {
-                std::fprintf(stderr, "FAIL: run did not complete\n");
-                return 1;
-            }
-            if (jobs == 1) {
-                baseRes = pt.res;
-                baseWall = pt.wallSec;
-                continue;
-            }
-            std::string why;
-            if (!sameResult(baseRes, pt.res, &why)) {
-                std::fprintf(stderr,
-                             "MISMATCH at procs=%u jobs=%u: '%s' "
-                             "differs from the jobs=1 run - PDES "
-                             "result depends on the thread count\n",
-                             row.procs, jobs, why.c_str());
-                deterministic = false;
-            }
-            if (&row == &rows.back() && jobs == 4)
-                speedupJ4 = baseWall / pt.wallSec;
         }
     }
     std::printf("determinism        : %s\n",
                 deterministic ? "jobs>1 bit-identical to jobs=1"
                               : "MISMATCH");
+    if (bothSyncs) {
+        std::printf("cross-sync         : %s\n",
+                    crossSyncIdentical
+                        ? "adaptive bit-identical to fixed "
+                          "(modulo barrier cadence)"
+                        : "MISMATCH");
+        std::printf("window reduction   : %8.2fx fewer barrier "
+                    "windows (worst row, jobs=1)\n",
+                    windowReduction);
+        if (epsJobs1Fixed > 0.0 && epsJobs1Adaptive > 0.0)
+            std::printf("adaptive speedup   : %8.2fx at jobs=1 "
+                        "(headline row)\n",
+                        epsJobs1Adaptive / epsJobs1Fixed);
+    }
     if (speedupJ4 != 0.0)
         std::printf("speedup (jobs=4)   : %8.2fx at %u procs\n",
                     speedupJ4, rows.back().procs);
+
+    const double adaptiveSpeedupJ1 =
+        epsJobs1Fixed > 0.0 && epsJobs1Adaptive > 0.0
+            ? epsJobs1Adaptive / epsJobs1Fixed
+            : 0.0;
+    const double speedupVsSeed =
+        !smoke && epsJobs1Adaptive > 0.0
+            ? epsJobs1Adaptive / kSeedEventsPerSecJobs1
+            : 0.0;
+    if (speedupVsSeed != 0.0)
+        std::printf("speedup vs seed    : %8.2fx at jobs=1 "
+                    "(headline row, adaptive)\n",
+                    speedupVsSeed);
 
     std::FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
@@ -257,47 +392,96 @@ main(int argc, char **argv)
     std::fprintf(f,
                  "{\n"
                  "  \"deterministic\": %d,\n"
+                 "  \"cross_sync_identical\": %d,\n"
                  "  \"points_total\": %zu,\n"
                  "  \"events_per_sec_jobs1\": %.0f,\n"
+                 "  \"events_per_sec_jobs1_adaptive\": %.0f,\n"
+                 "  \"adaptive_speedup_jobs1\": %.3f,\n"
+                 "  \"adaptive_window_reduction\": %.3f,\n"
+                 "  \"seed_events_per_sec_jobs1\": %.0f,\n"
+                 "  \"adaptive_speedup_vs_seed\": %.3f,\n"
                  "  \"speedup_jobs4\": %.3f,\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"git_rev\": \"%s\",\n"
                  "  \"points\": [\n",
-                 deterministic ? 1 : 0, points.size(),
+                 deterministic ? 1 : 0, crossSyncIdentical ? 1 : 0,
+                 points.size(),
                  points.empty() ? 0.0 : points.front().eventsPerSec,
+                 epsJobs1Adaptive, adaptiveSpeedupJ1, windowReduction,
+                 kSeedEventsPerSecJobs1, speedupVsSeed,
                  speedupJ4, hw, TCC_GIT_REV);
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &pt = points[i];
+        const double epw =
+            pt.res.pdes.windows == 0
+                ? 0.0
+                : static_cast<double>(pt.res.events) /
+                      static_cast<double>(pt.res.pdes.windows);
         std::fprintf(
             f,
             "    {\"procs\": %u, \"domains\": %u, \"jobs\": %u, "
+            "\"sync\": \"%s\", "
             "\"wall_sec\": %.6f, \"events_per_sec\": %.0f, "
             "\"cycles\": %llu, \"events\": %llu, "
-            "\"lookahead\": %llu, \"windows\": %llu, "
-            "\"mailbox_messages\": %llu}%s\n",
-            pt.procs, pt.domains, pt.res.pdes.jobs, pt.wallSec,
+            "\"lookahead\": %llu, \"windows\": %llu, \"phases\": %llu, "
+            "\"events_per_window\": %.1f, "
+            "\"mailbox_messages\": %llu, "
+            "\"idle_domain_skips\": %llu, "
+            "\"empty_broadcasts_skipped\": %llu}%s\n",
+            pt.procs, pt.domains, pt.res.pdes.jobs, pt.sync, pt.wallSec,
             pt.eventsPerSec, (unsigned long long)pt.res.cycles,
             (unsigned long long)pt.res.events,
             (unsigned long long)pt.res.pdes.lookahead,
             (unsigned long long)pt.res.pdes.windows,
+            (unsigned long long)pt.res.pdes.phases, epw,
             (unsigned long long)pt.res.pdes.mailboxMessages,
+            (unsigned long long)pt.res.pdes.idleDomainSkips,
+            (unsigned long long)pt.res.pdes.emptyBroadcastsSkipped,
             i + 1 == points.size() ? "" : ",");
     }
     std::fprintf(f,
                  "  ],\n"
                  "  \"config\": {\n"
                  "    \"smoke\": %s,\n"
+                 "    \"sync_modes\": %zu,\n"
                  "    \"jobs_swept\": %zu,\n"
                  "    \"rows\": %zu\n"
                  "  }\n"
                  "}\n",
-                 smoke ? "true" : "false", jobsList.size(),
-                 rows.size());
+                 smoke ? "true" : "false", syncs.size(),
+                 jobsList.size(), rows.size());
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());
 
     if (!deterministic)
         return 1;
+    if (!crossSyncIdentical)
+        return 1;
+    // Window-reduction gate: the whole point of adaptive sync. Armed
+    // in smoke too - the reduction is a property of the event pattern,
+    // not of wall-clock timing.
+    if (bothSyncs && windowReduction < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: adaptive closed only %.2fx fewer windows "
+                     "than fixed (< 5x)\n",
+                     windowReduction);
+        return 1;
+    }
+    // Throughput gate: full runs only (the smoke workload finishes in
+    // milliseconds and its timing is noise). jobs=1 on the headline
+    // row, so it is meaningful on any core count. The bar is a
+    // regression guard - adaptive must beat fixed *in this binary*,
+    // where both legs already carry the barrier micro-fixes; the
+    // speedup over the pre-adaptive engine is the recorded
+    // adaptive_speedup_vs_seed.
+    if (!smoke && bothSyncs && adaptiveSpeedupJ1 != 0.0 &&
+        adaptiveSpeedupJ1 < 1.05) {
+        std::fprintf(stderr,
+                     "FAIL: adaptive jobs=1 throughput %.2fx fixed "
+                     "(< 1.05x)\n",
+                     adaptiveSpeedupJ1);
+        return 1;
+    }
     // Speedup gate: only meaningful where the OS can actually schedule
     // 4 workers concurrently.
     if (!smoke && hw >= 4 && speedupJ4 != 0.0 && speedupJ4 < 1.5) {

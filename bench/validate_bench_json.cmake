@@ -78,6 +78,28 @@ if(REQUIRE_CONFIG)
   endif()
 endif()
 
+# Optional per-point schema check: with -DPOINTS_ARRAY=<key> and
+# -DPOINT_REQUIRED_KEYS=a,b every element of doc.<key> must contain
+# each listed key. Guards against one sweep leg emitting rows with a
+# narrower schema than the others (e.g. a sync mode that forgets its
+# cadence counters).
+if(DEFINED POINTS_ARRAY AND DEFINED POINT_REQUIRED_KEYS)
+  string(REPLACE "," ";" point_key_list "${POINT_REQUIRED_KEYS}")
+  string(JSON npts LENGTH "${doc}" ${POINTS_ARRAY})
+  math(EXPR last "${npts} - 1")
+  foreach(i RANGE ${last})
+    foreach(key IN LISTS point_key_list)
+      string(JSON val ERROR_VARIABLE err GET
+             "${doc}" ${POINTS_ARRAY} ${i} ${key})
+      if(err)
+        message(FATAL_ERROR
+                "${JSON_FILE}: point ${i} of '${POINTS_ARRAY}' is "
+                "missing key '${key}': ${err}")
+      endif()
+    endforeach()
+  endforeach()
+endif()
+
 # Optional duplicate-point check: with -DPOINTS_ARRAY=<key> and
 # -DUNIQUE_POINT_KEYS=a,b each element of doc.<key> must have a unique
 # (a, b, ...) tuple. Guards against a sweep emitting the same measured

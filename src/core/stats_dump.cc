@@ -245,6 +245,26 @@ dumpStats(const System &sys, std::ostream &os)
     line(os, "network.bytes.shared",
          ns.classBytes[(int)TrafficClass::Shared]);
 
+    // --- pdes (only populated by parallel runs) ----------------------
+    const auto &ps = sys.pdesStats();
+    if (ps.domains != 0) {
+        line(os, "pdes.domains", ps.domains);
+        line(os, "pdes.jobs", ps.jobs);
+        line(os, "pdes.sync_adaptive", ps.adaptive ? 1 : 0);
+        line(os, "pdes.lookahead", ps.lookahead);
+        line(os, "pdes.windows", ps.windows);
+        line(os, "pdes.phases", ps.phases);
+        line(os, "pdes.mailbox_messages", ps.mailboxMessages);
+        line(os, "pdes.idle_domain_skips", ps.idleDomainSkips);
+        line(os, "pdes.empty_broadcasts_skipped",
+             ps.emptyBroadcastsSkipped);
+        lined(os, "pdes.window_width.mean", ps.windowWidth.mean());
+        lined(os, "pdes.window_width.p50",
+              ps.windowWidth.percentile(50));
+        lined(os, "pdes.window_width.p99",
+              ps.windowWidth.percentile(99));
+    }
+
     // --- per processor ---------------------------------------------------
     for (NodeId p = 0; p < sys.numProcs(); ++p) {
         const auto &s = sys.proc(p).stats();
@@ -394,6 +414,22 @@ dumpStatsJson(const System &sys, std::ostream &os)
     j.kv("shared", ns.classBytes[(int)TrafficClass::Shared]);
     j.endObj();
     j.endObj();
+
+    const auto &ps = sys.pdesStats();
+    if (ps.domains != 0) {
+        j.beginObj("pdes");
+        j.kv("domains", static_cast<std::uint64_t>(ps.domains));
+        j.kv("jobs", static_cast<std::uint64_t>(ps.jobs));
+        j.kvStr("sync", ps.adaptive ? "adaptive" : "fixed");
+        j.kv("lookahead", ps.lookahead);
+        j.kv("windows", ps.windows);
+        j.kv("phases", ps.phases);
+        j.kv("mailbox_messages", ps.mailboxMessages);
+        j.kv("idle_domain_skips", ps.idleDomainSkips);
+        j.kv("empty_broadcasts_skipped", ps.emptyBroadcastsSkipped);
+        jsonDistribution(j, "window_width", ps.windowWidth);
+        j.endObj();
+    }
 
     j.beginArr("procs");
     for (NodeId p = 0; p < sys.numProcs(); ++p) {

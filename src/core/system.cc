@@ -462,8 +462,10 @@ System::pdesBarrierPhase(Tick at)
     auto waiters = std::move(barrierWaiters);
     barrierWaiters.clear();
     for (auto &[node, resume] : waiters) {
-        PdesDomain &d = *st.domains[st.plan.nodeDomain[node]];
-        d.eq.scheduleAt(at, [fn = std::move(resume)]() { fn(); });
+        const std::uint32_t dom = st.plan.nodeDomain[node];
+        st.domains[dom]->eq.scheduleAt(
+            at, [fn = std::move(resume)]() { fn(); });
+        st.pulse[dom].next = std::min(st.pulse[dom].next, at);
     }
 }
 
@@ -488,49 +490,116 @@ System::runPdes(Tick max_ticks)
     for (auto &p : procs)
         p->start();
 
+    // Each worker runs its domains to the sub-phase limit, then
+    // summarizes the domain into its pulse slot while the domain's
+    // state is still hot in this worker's cache: next event tick plus
+    // flags for parked parcels, store-log writes, and barrier-phase
+    // work. Domains with no event inside the sub-phase are never
+    // touched at all (the idle-domain fast path) - their pulse is
+    // kept current by the coordinator's own injections.
     WindowCrew crew(jobs, [&st, num_domains, jobs](unsigned w) {
-        for (std::uint32_t i = w; i < num_domains; i += jobs)
-            st.domains[i]->eq.runUntil(st.curLimit);
+        for (std::uint32_t i = w; i < num_domains; i += jobs) {
+            PdesState::DomainPulse &pu = st.pulse[i];
+            if (pu.next > st.curLimit)
+                continue;
+            PdesDomain &d = *st.domains[i];
+            d.eq.runUntil(st.curLimit);
+            std::uint32_t f = 0;
+            if (d.net->hasParcels())
+                f |= PdesState::kPulseParcels;
+            if (!d.storeLog.empty())
+                f |= PdesState::kPulseStore;
+            if (!d.barrierArrivals.empty() || d.newlyDone != 0 ||
+                (d.checker && d.checker->failed()))
+                f |= PdesState::kPulseSync;
+            pu.next = d.eq.nextWhen();
+            pu.flags = f;
+        }
     });
 
     const Tick lookahead = st.plan.lookahead;
+    const bool adaptive =
+        config.pdes.sync == PdesConfig::Sync::Adaptive;
+    res.pdes.adaptive = adaptive;
+    st.initPulse();
+    Tick phase_start = 0;
     Tick window_start = 0;
+    bool window_open = false;
     bool halted = false;
     for (;;) {
-        const Tick next = st.earliestEvent();
+        const Tick next = st.earliestNext();
         if (next == kTickMax)
             break; // drained: every queue and mailbox is empty
         if (next > max_ticks)
             break; // remaining work is beyond the tick limit
         // Idle gaps (e.g. everyone waiting out a commit) fast-forward
-        // the window: windows must be contiguous and at most one
-        // lookahead wide, not aligned to a global grid.
-        window_start = std::max(window_start, next);
-        const Tick window_end = window_start > kTickMax - lookahead
-                                    ? kTickMax
-                                    : window_start + lookahead;
+        // the sub-phase: sub-phases must be contiguous and end at the
+        // EOT bound min_d(next_d + lookahead) == next + lookahead -
+        // no cross-domain effect can land earlier, so every domain
+        // may execute up to (but not at) that bound.
+        phase_start = std::max(phase_start, next);
+        if (!window_open) {
+            window_start = phase_start;
+            window_open = true;
+        }
+        const Tick window_end = pdesWindowEnd(phase_start, lookahead);
         st.curLimit = std::min(window_end - 1, max_ticks);
         crew.runPhase();
-        ++res.pdes.windows;
-        // Barrier: the coordinator exchanges cross-domain effects in
-        // canonical domain-id order - messages, store writes, SPMD
-        // barrier arrivals - making them visible next window.
-        res.pdes.mailboxMessages += st.flushMailboxes(window_end);
-        st.applyStoreLogs();
-        pdesBarrierPhase(window_end);
-        if (config.check.invariants) {
-            for (auto &d : st.domains) {
-                if (d->checker->failed()) {
-                    halted = true; // stop at the window boundary
-                    break;
+        ++res.pdes.phases;
+
+        // Fold the per-domain pulses: one pass over a contiguous
+        // array instead of poking every domain's queues and logs.
+        std::uint32_t effects = 0;
+        for (const PdesState::DomainPulse &pu : st.pulse) {
+            effects |= pu.flags;
+            if (pu.next > st.curLimit)
+                ++res.pdes.idleDomainSkips;
+        }
+
+        // Parcels flush every sub-phase: they carry exact arrival
+        // ticks, so delivery is independent of the barrier cadence.
+        if (effects & PdesState::kPulseParcels)
+            res.pdes.mailboxMessages += st.flushMailboxes(window_end);
+
+        // Close the window when the sub-phase produced output only a
+        // barrier can publish (store writes, SPMD arrivals, done
+        // transitions, a checker failure). Under the fixed cadence,
+        // close unconditionally - that is the legacy window grid.
+        const bool close =
+            !adaptive ||
+            (effects &
+             (PdesState::kPulseStore | PdesState::kPulseSync)) != 0;
+        if (close) {
+            if (effects & PdesState::kPulseStore)
+                st.applyStoreLogs();
+            else
+                ++res.pdes.emptyBroadcastsSkipped;
+            if (effects & PdesState::kPulseSync)
+                pdesBarrierPhase(window_end);
+            ++res.pdes.windows;
+            res.pdes.windowWidth.sample(
+                static_cast<double>(window_end - window_start));
+            window_open = false;
+            // An invariant failure halts the run at the window
+            // boundary; the failing domain raised kPulseSync, so the
+            // window closed exactly where the fixed cadence halts.
+            if ((effects & PdesState::kPulseSync) &&
+                config.check.invariants) {
+                for (auto &d : st.domains) {
+                    if (d->checker->failed()) {
+                        halted = true;
+                        break;
+                    }
                 }
             }
+            if (halted)
+                break;
         }
-        if (halted)
-            break;
-        window_start = window_end;
+        for (PdesState::DomainPulse &pu : st.pulse)
+            pu.flags = 0;
+        phase_start = window_end;
     }
-    const bool hit_tick_limit = !halted && st.earliestEvent() != kTickMax;
+    const bool hit_tick_limit = !halted && st.earliestNext() != kTickMax;
 
     for (auto &d : st.domains)
         res.events += d->eq.executed();
@@ -543,7 +612,8 @@ System::runPdes(Tick max_ticks)
         net->accumulateStats(d->net->stats());
     st.mergeTraces(tracer);
 
-    populateRunStats(res, window_start);
+    populateRunStats(res, phase_start);
+    lastPdesStats = res.pdes;
 
     if (config.check.serial) {
         // The oracle replays in TID order regardless of record order;

@@ -41,6 +41,7 @@
 #include "proc/processor.hh"
 #include "proc/tid_vendor.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 
 namespace tcc {
 
@@ -95,6 +96,20 @@ struct TraceConfig {
  * never on jobs: any jobs value produces bit-identical RunResults.
  */
 struct PdesConfig {
+    /** Barrier cadence. Both modes execute the same lockstep
+     *  sub-phases (each bounded by the EOT rule min_d next_d +
+     *  lookahead) and are bit-identical in every simulation-visible
+     *  result; they differ only in when the coordinator runs the
+     *  barrier bookkeeping:
+     *   - Fixed: close a window (store-log broadcast, barrier phase,
+     *     window accounting) after every sub-phase - the legacy
+     *     cadence.
+     *   - Adaptive: extend the window across sub-phases that produced
+     *     no cross-domain output (no store writes, no SPMD arrivals,
+     *     no done transitions); mailbox parcels still flush every
+     *     sub-phase at their exact arrival ticks. Sparse phases then
+     *     cross hundreds of cycles in one window. */
+    enum class Sync : std::uint8_t { Fixed, Adaptive };
     /** Requested domain count; clamped to the mesh row count (or the
      *  node count on an ideal network). 0 or 1 = serial engine. */
     std::uint32_t domains = 0;
@@ -104,6 +119,8 @@ struct PdesConfig {
     /** Optional window-width override in [1, lookahead] cycles;
      *  0 = use the derived lookahead. */
     Tick window = 0;
+    /** Barrier cadence (purely a throughput knob, like jobs). */
+    Sync sync = Sync::Adaptive;
 };
 
 /** Full system configuration (defaults follow the paper's Table 2). */
@@ -220,14 +237,32 @@ struct RunResult {
     CheckVerdict invariants;
 
     /** PDES execution statistics (all zero for serial-engine runs).
-     *  Everything except `jobs` is part of the deterministic result;
-     *  `jobs` records the thread count actually used. */
+     *  Everything except `jobs` and `adaptive` is part of the
+     *  deterministic result for a given sync mode; `jobs` records the
+     *  thread count actually used and `adaptive` the barrier cadence.
+     *  Between Sync::Fixed and Sync::Adaptive only `windows`,
+     *  `emptyBroadcastsSkipped`, and `windowWidth` may differ - every
+     *  simulation-visible field is bit-identical. */
     struct PdesRunStats {
         std::uint32_t domains = 0;
         std::uint32_t jobs = 0;
+        bool adaptive = false;
         Tick lookahead = 0;
+        /** Barrier windows closed (store-log broadcast + barrier
+         *  phase). Under Fixed this equals `phases`. */
         std::uint64_t windows = 0;
+        /** Lockstep sub-phases executed (EOT-bounded dispatches). */
+        std::uint64_t phases = 0;
         std::uint64_t mailboxMessages = 0;
+        /** Domain-dispatches skipped because the domain had no event
+         *  inside the sub-phase (its state was never touched). */
+        std::uint64_t idleDomainSkips = 0;
+        /** Window closes whose store write logs were all empty, so
+         *  the replica broadcast was skipped outright. */
+        std::uint64_t emptyBroadcastsSkipped = 0;
+        /** Realized barrier-to-barrier window widths in cycles
+         *  (mean/p50/p99; constant = lookahead under Fixed). */
+        Distribution windowWidth;
     };
     PdesRunStats pdes;
 
@@ -291,6 +326,18 @@ class System
      *  enabled during the run; see obs/trace_recorder.hh). */
     const TraceRecorder &traceRecorder() const { return tracer; }
     TraceRecorder &traceRecorder() { return tracer; }
+
+    /** PDES stats of the last run() (all zero for serial-engine runs
+     *  or before any run); the copy dumpStats reads post-hoc. */
+    const RunResult::PdesRunStats &pdesStats() const
+    {
+        return lastPdesStats;
+    }
+
+    /** PDES engine internals, or null for serial-engine systems.
+     *  Diagnostics and tests only (e.g. the idle-domain-skip test
+     *  inspects a quiesced domain's queue and arena). */
+    const PdesState *pdesInternals() const { return pdesState.get(); }
 
     /** Memory footprint of this run's arena (reporting/benches). */
     Arena::Stats arenaStats() const { return arena.stats(); }
@@ -361,6 +408,8 @@ class System
     // Barrier service (SPMD phase barriers between transactions).
     std::vector<std::pair<NodeId, std::function<void()>>> barrierWaiters;
     std::uint32_t doneProcs = 0;
+    /** Copy of the last run's PDES stats (see pdesStats()). */
+    RunResult::PdesRunStats lastPdesStats;
 };
 
 } // namespace tcc

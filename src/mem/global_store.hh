@@ -29,10 +29,20 @@ namespace tcc {
 class GlobalStore
 {
   public:
-    /** (word-aligned address, value) records of every write() since
-     *  the log was attached; PDES domains broadcast these at window
-     *  barriers to keep replicas convergent (sim/domain.hh). */
-    using WriteLog = std::vector<std::pair<Addr, std::uint64_t>>;
+    /** One write() record: word-aligned address, value, and the tick
+     *  the write was published at (0 without an attached clock). */
+    struct WriteRec {
+        Addr addr = 0;
+        std::uint64_t value = 0;
+        Tick tick = 0;
+    };
+
+    /** Records of every write() since the log was attached, in
+     *  execution order (ticks nondecreasing when a clock is attached);
+     *  PDES domains broadcast these at window barriers, merged across
+     *  domains by (tick, domain id), to keep replicas convergent
+     *  (sim/domain.hh). */
+    using WriteLog = std::vector<WriteRec>;
 
     /** @param arena backs the word map (nullptr = global heap). */
     explicit GlobalStore(Arena *arena = nullptr) : words(arena) {}
@@ -52,7 +62,8 @@ class GlobalStore
         const Addr a = wordAlign(addr);
         words[a] = value;
         if (writeLog != nullptr)
-            writeLog->emplace_back(a, value);
+            writeLog->push_back(
+                WriteRec{a, value, clock != nullptr ? *clock : 0});
     }
 
     /** Write without logging (replica log replay; @p addr must already
@@ -61,6 +72,12 @@ class GlobalStore
 
     /** Record every subsequent write() into @p log (nullptr detaches). */
     void setWriteLog(WriteLog *log) { writeLog = log; }
+
+    /** Tag write-log records with *@p now at write() time (PDES
+     *  domains pass EventQueue::nowRef(); nullptr tags 0). The tick is
+     *  what lets the barrier merge order replica updates by
+     *  (tick, writer domain) instead of writer domain alone. */
+    void setClock(const Tick *now) { clock = now; }
 
     /** Replace the contents with a copy of @p other (replica seeding). */
     void
@@ -108,6 +125,8 @@ class GlobalStore
     FlatMap<Addr, std::uint64_t> words;
     /** Optional write log (PDES replica synchronization). */
     WriteLog *writeLog = nullptr;
+    /** Optional tick source for write-log records (see setClock). */
+    const Tick *clock = nullptr;
 };
 
 } // namespace tcc

@@ -133,8 +133,10 @@ DomainNet::route(Message msg)
     }
     accountSend(msg, hops);
     ++crossCount;
-    outbox[dst_dom].push_back(Parcel{std::move(msg),
-                                     eventq.now() + delay});
+    auto &box = outbox[dst_dom];
+    if (box.empty())
+        dirtyDests.push_back(dst_dom);
+    box.push_back(Parcel{std::move(msg), eventq.now() + delay});
 }
 
 Tick
@@ -272,7 +274,10 @@ DomainNet::doMulticast(const Message &proto,
         }
         accountSend(copy, hops);
         ++crossCount;
-        outbox[dst_dom].push_back(Parcel{std::move(copy), now + delay});
+        auto &box = outbox[dst_dom];
+        if (box.empty())
+            dirtyDests.push_back(dst_dom);
+        box.push_back(Parcel{std::move(copy), now + delay});
     }
     return r;
 }
@@ -371,14 +376,42 @@ PdesState::earliestEvent() const
     return next;
 }
 
+void
+PdesState::initPulse()
+{
+    pulse.assign(domains.size(), DomainPulse{});
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+        const PdesDomain &d = *domains[i];
+        DomainPulse pu;
+        pu.next = d.eq.nextWhen();
+        if (d.net->hasParcels())
+            pu.flags |= kPulseParcels;
+        if (!d.storeLog.empty())
+            pu.flags |= kPulseStore;
+        if (!d.barrierArrivals.empty() || d.newlyDone != 0 ||
+            (d.checker && d.checker->failed()))
+            pu.flags |= kPulseSync;
+        pulse[i] = pu;
+    }
+}
+
 std::uint64_t
 PdesState::flushMailboxes(Tick window_end)
 {
     std::uint64_t moved = 0;
-    for (auto &src : domains) {
-        auto &out = src->net->outbox;
-        for (std::size_t t = 0; t < out.size(); ++t) {
-            for (DomainNet::Parcel &p : out[t]) {
+    for (std::size_t s = 0; s < domains.size(); ++s) {
+        if ((pulse[s].flags & kPulseParcels) == 0)
+            continue;
+        DomainNet &net = *domains[s]->net;
+        // First-park order -> canonical ascending destination order,
+        // so delivery (and the FIFO sequence numbers it assigns)
+        // matches a full (src, dst) scan exactly.
+        std::sort(net.dirtyDests.begin(), net.dirtyDests.end());
+        for (std::uint32_t t : net.dirtyDests) {
+            auto &box = net.outbox[t];
+            DomainNet &dst = *domains[t]->net;
+            Tick first = kTickMax;
+            for (DomainNet::Parcel &p : box) {
                 if (p.when < window_end) {
                     panic("PDES lookahead violated: cross-domain "
                           "message %u->%u arrives at %llu inside the "
@@ -387,11 +420,14 @@ PdesState::flushMailboxes(Tick window_end)
                           (unsigned long long)p.when,
                           (unsigned long long)window_end);
                 }
-                domains[t]->net->deliverAt(std::move(p.msg), p.when);
+                first = std::min(first, p.when);
+                dst.deliverAt(std::move(p.msg), p.when);
                 ++moved;
             }
-            out[t].clear();
+            box.clear();
+            pulse[t].next = std::min(pulse[t].next, first);
         }
+        net.dirtyDests.clear();
     }
     return moved;
 }
@@ -399,14 +435,61 @@ PdesState::flushMailboxes(Tick window_end)
 void
 PdesState::applyStoreLogs()
 {
-    for (auto &src : domains) {
-        if (src->storeLog.empty())
+    // Gather the domains that logged writes (per the pulse flags, so
+    // clean domains are never touched).
+    std::size_t first_src = 0;
+    std::uint32_t nsrc = 0;
+    for (std::size_t s = 0; s < domains.size(); ++s) {
+        if ((pulse[s].flags & kPulseStore) == 0)
             continue;
+        if (nsrc == 0)
+            first_src = s;
+        ++nsrc;
+    }
+    if (nsrc == 0)
+        return;
+    if (nsrc == 1) {
+        // One writer: its log is already in (tick, log order).
+        GlobalStore::WriteLog &log = domains[first_src]->storeLog;
         for (auto &dst : domains) {
-            for (const auto &w : src->storeLog)
-                dst->store.apply(w.first, w.second);
+            for (const GlobalStore::WriteRec &w : log)
+                dst->store.apply(w.addr, w.value);
         }
-        src->storeLog.clear();
+        log.clear();
+        return;
+    }
+    // Several writers: k-way merge by (tick, domain id, log order).
+    // Each domain's log is tick-sorted (its clock never runs
+    // backwards), so a pointer-per-log merge suffices.
+    mergeScratch.clear();
+    std::vector<std::size_t> at(domains.size(), 0);
+    for (;;) {
+        std::size_t pick = domains.size();
+        Tick best = kTickMax;
+        for (std::size_t s = 0; s < domains.size(); ++s) {
+            if ((pulse[s].flags & kPulseStore) == 0)
+                continue;
+            const GlobalStore::WriteLog &log = domains[s]->storeLog;
+            if (at[s] >= log.size())
+                continue;
+            const Tick t = log[at[s]].tick;
+            // Strict < keeps equal ticks in domain-id order.
+            if (pick == domains.size() || t < best) {
+                pick = s;
+                best = t;
+            }
+        }
+        if (pick == domains.size())
+            break;
+        mergeScratch.push_back(domains[pick]->storeLog[at[pick]++]);
+    }
+    for (auto &dst : domains) {
+        for (const GlobalStore::WriteRec &w : mergeScratch)
+            dst->store.apply(w.addr, w.value);
+    }
+    for (std::size_t s = 0; s < domains.size(); ++s) {
+        if (pulse[s].flags & kPulseStore)
+            domains[s]->storeLog.clear();
     }
 }
 

@@ -37,6 +37,7 @@
 #ifndef TCC_SIM_DOMAIN_HH
 #define TCC_SIM_DOMAIN_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -107,6 +108,29 @@ PdesPlan computePdesPlan(std::uint32_t num_procs,
                          Tick window_override, bool mesh_based,
                          const MeshConfig &mesh, Tick ideal_latency);
 
+/** End of a window starting at @p start with lookahead @p lookahead,
+ *  saturating at kTickMax (the overflow clamp near the end of time). */
+constexpr Tick
+pdesWindowEnd(Tick start, Tick lookahead)
+{
+    return start > kTickMax - lookahead ? kTickMax : start + lookahead;
+}
+
+/**
+ * Conservative earliest-output-time (EOT) bound: a domain whose next
+ * runnable event is at @p next cannot make any cross-domain effect
+ * (message arrival, store write, barrier arrival) visible before
+ * next + lookahead, because every cross-domain message pays at least
+ * the lookahead in latency and store writes publish at the barrier
+ * that ends the window containing them. kTickMax (no events) maps to
+ * kTickMax: an empty domain emits nothing until something reaches it.
+ */
+constexpr Tick
+pdesEot(Tick next, Tick lookahead)
+{
+    return next >= kTickMax - lookahead ? kTickMax : next + lookahead;
+}
+
 /** Transport parameters a DomainNet needs (translated from the
  *  System's NetworkConfig by the constructor site). */
 struct DomainNetConfig {
@@ -155,9 +179,21 @@ class DomainNet : public Network
     /** Cross-domain messages parked so far (mailbox traffic stat). */
     std::uint64_t crossMessages() const { return crossCount; }
 
+    /** Any parcels parked since the last flush? O(1): the park path
+     *  maintains dirtyDests, so the coordinator never scans the
+     *  mailboxes of domains that sent nothing. */
+    bool hasParcels() const { return !dirtyDests.empty(); }
+
     /** Per-destination-domain mailboxes, drained by the coordinator
-     *  (PdesState::flushMailboxes) between windows. */
+     *  (PdesState::flushMailboxes) between windows. The vectors keep
+     *  their capacity across flushes, so steady-state parking does no
+     *  allocation (the parcel-node pool). */
     std::vector<std::vector<Parcel>> outbox;
+
+    /** Destination domains whose mailbox gained parcels since the last
+     *  flush, in first-park order; flushMailboxes sorts them into
+     *  canonical destination order before draining. */
+    std::vector<std::uint32_t> dirtyDests;
 
   protected:
     /**
@@ -210,6 +246,10 @@ struct PdesDomain {
           tracer(eq, &arena, trace_capacity)
     {
         store.setWriteLog(&storeLog);
+        // Tag log records with the commit tick: the barrier merge
+        // replays them in (tick, domain) order, making the realized
+        // window width invisible to the replicated memory image.
+        store.setClock(eq.nowRef());
     }
 
     PdesDomain(const PdesDomain &) = delete;
@@ -299,21 +339,80 @@ class WindowCrew
 struct PdesState {
     explicit PdesState(PdesPlan p) : plan(std::move(p)) {}
 
+    /**
+     * One domain's coordination summary, written by the domain's own
+     * worker at the end of each sub-phase (while the domain's state is
+     * hot in that worker's cache) and consumed by the coordinator.
+     * The coordinator steers entirely off this contiguous array: a
+     * quiet or idle domain's queues, mailboxes, and logs are never
+     * touched between phases. Cacheline-aligned so workers on
+     * different domains never share a line.
+     */
+    struct alignas(64) DomainPulse {
+        /** eq.nextWhen() after the last phase, min-updated by the
+         *  coordinator when it injects (mailbox flush, barrier
+         *  release). kTickMax = domain fully drained. */
+        Tick next = kTickMax;
+        /** kPulse* bits describing the effects of the last phase. */
+        std::uint32_t flags = 0;
+    };
+
+    /** Parcels were parked (outbox dirty). */
+    static constexpr std::uint32_t kPulseParcels = 1;
+    /** Store write log is nonempty. */
+    static constexpr std::uint32_t kPulseStore = 2;
+    /** Barrier arrivals, done transitions, or a checker failure -
+     *  anything the coordinator's barrier phase must consume. */
+    static constexpr std::uint32_t kPulseSync = 4;
+
     PdesPlan plan;
     std::vector<std::unique_ptr<PdesDomain>> domains;
+    /** Per-domain coordination summaries (size domains.size()). */
+    std::vector<DomainPulse> pulse;
     /** Current window's inclusive execution limit (window end - 1,
      *  clamped to max_ticks); set by the coordinator before each
      *  phase, read by the workers. */
     Tick curLimit = 0;
 
-    /** Earliest pending event across all domains (kTickMax if none). */
+    /** Earliest pending event across all domains (kTickMax if none).
+     *  Exact scan of every domain's queue; the window loop uses the
+     *  pulse-based earliestNext() instead. */
     Tick earliestEvent() const;
+
+    /** Populate pulse from a full scan of every domain (run setup;
+     *  afterwards the workers and coordinator keep it current). */
+    void initPulse();
+
+    /** Earliest pending event according to the pulse array. */
+    Tick
+    earliestNext() const
+    {
+        Tick next = kTickMax;
+        for (const DomainPulse &pu : pulse)
+            next = std::min(next, pu.next);
+        return next;
+    }
+
+    /** min over domains of EOT(d) = pulse[d].next + lookahead: no
+     *  cross-domain effect can become visible before this tick. */
+    Tick
+    eotBound() const
+    {
+        Tick bound = kTickMax;
+        for (const DomainPulse &pu : pulse)
+            bound = std::min(bound, pdesEot(pu.next, plan.lookahead));
+        return bound;
+    }
 
     /**
      * Move every parked parcel to its destination domain's queue, in
      * canonical (source domain, destination domain, FIFO) order.
-     * Panics if a parcel would arrive before @p window_end - that
-     * would mean the lookahead bound is wrong.
+     * Only domains whose pulse reported parcels are visited, and only
+     * their dirty destination mailboxes are drained (batched
+     * injection per destination); pulse[dst].next is min-updated with
+     * the earliest injected arrival. Panics if a parcel would arrive
+     * before @p window_end - that would mean the lookahead bound is
+     * wrong.
      * @return parcels moved.
      */
     std::uint64_t flushMailboxes(Tick window_end);
@@ -321,15 +420,22 @@ struct PdesState {
     /**
      * Broadcast every domain's store write log to every replica
      * (including the writer's own - replaying identical values keeps
-     * all replicas convergent), in domain-id order, then clear the
-     * logs. Writes to the same word from different domains in one
-     * window resolve deterministically: highest domain id wins.
+     * all replicas convergent), then clear the logs. Records are
+     * replayed in (tick, writer domain, log order) across domains, so
+     * conflicting writes to the same word resolve exactly as a
+     * barrier-per-tick execution would - the realized window width is
+     * invisible to the merged image. Domains whose pulse did not
+     * report kPulseStore are never touched.
      */
     void applyStoreLogs();
 
     /** Merge the per-domain trace rings into @p into, ordered by
      *  (tick, domain id); within a domain, ring order is kept. */
     void mergeTraces(TraceRecorder &into) const;
+
+  private:
+    /** Reused (tick, domain) merge scratch for applyStoreLogs. */
+    std::vector<GlobalStore::WriteRec> mergeScratch;
 };
 
 } // namespace tcc

@@ -88,6 +88,12 @@ class EventQueue
     /** Current simulated time in cycles. */
     Tick now() const { return curTick; }
 
+    /** Stable pointer to the current tick, valid for the queue's
+     *  lifetime. Lets low layers (e.g. the functional store's
+     *  write-log clock) read the time without depending on this
+     *  header. */
+    const Tick *nowRef() const { return &curTick; }
+
     /** Schedule @p fn to run @p delay cycles from now. */
     void
     schedule(Tick delay, Callback fn)

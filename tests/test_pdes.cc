@@ -18,6 +18,7 @@
 
 #include "core/system.hh"
 #include "sim/domain.hh"
+#include "workload/scripted_source.hh"
 #include "workload/synthetic_app.hh"
 
 namespace tcc {
@@ -179,6 +180,7 @@ TEST(PdesMailbox, FlushPreservesPerPairSendOrder)
     ASSERT_EQ(h.st.domains[0]->net->crossMessages(), 32u);
 
     const Tick window_end = h.st.plan.lookahead;
+    h.st.initPulse(); // flushMailboxes consults the parcel flags
     EXPECT_EQ(h.st.flushMailboxes(window_end), 32u);
     h.st.domains[1]->eq.run();
 
@@ -231,6 +233,7 @@ TEST(PdesMailbox, MeshParcelsRespectTheLookahead)
     EXPECT_EQ(parcels, 16u * 12u);
     // flushMailboxes itself enforces the same bound (panics on
     // violation) - exercise the success path.
+    st.initPulse();
     EXPECT_EQ(st.flushMailboxes(st.plan.lookahead), parcels);
 }
 
@@ -239,7 +242,9 @@ TEST(PdesMailbox, MeshParcelsRespectTheLookahead)
 RunResult
 runPdes(const std::string &app, std::uint32_t procs,
         std::uint32_t domains, std::uint32_t jobs,
-        const std::string &chaos_preset = "", std::uint64_t seed = 42)
+        const std::string &chaos_preset = "", std::uint64_t seed = 42,
+        PdesConfig::Sync sync = PdesConfig::Sync::Adaptive,
+        Tick max_ticks = 2'000'000'000ull)
 {
     SystemConfig cfg;
     cfg.numProcs = procs;
@@ -248,6 +253,7 @@ runPdes(const std::string &app, std::uint32_t procs,
     cfg.check.invariants = true;
     cfg.pdes.domains = domains;
     cfg.pdes.jobs = jobs;
+    cfg.pdes.sync = sync;
     if (!chaos_preset.empty()) {
         cfg.network.model = NetworkConfig::Model::Chaos;
         cfg.network.chaos = chaosPreset(chaos_preset);
@@ -255,13 +261,18 @@ runPdes(const std::string &app, std::uint32_t procs,
     }
     System sys(cfg);
     auto sources = setupApp(sys, appProfile(app), seed);
-    return sys.run(2'000'000'000ull);
+    return sys.run(max_ticks);
 }
 
 /** Full-RunResult equality, excluding only pdes.jobs (the one field
- *  that records the thread count rather than the simulation). */
+ *  that records the thread count rather than the simulation). With
+ *  @p cross_sync the same comparison runs between a fixed-cadence and
+ *  an adaptive run: only the barrier-cadence bookkeeping (windows,
+ *  empty-broadcast count) may differ - a deferred barrier that had
+ *  nothing to publish must be invisible to the simulation. */
 void
-expectSameResult(const RunResult &a, const RunResult &b)
+expectSameResult(const RunResult &a, const RunResult &b,
+                 bool cross_sync = false)
 {
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.completed, b.completed);
@@ -304,8 +315,15 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.invariants.error, b.invariants.error);
     EXPECT_EQ(a.pdes.domains, b.pdes.domains);
     EXPECT_EQ(a.pdes.lookahead, b.pdes.lookahead);
-    EXPECT_EQ(a.pdes.windows, b.pdes.windows);
+    EXPECT_EQ(a.pdes.phases, b.pdes.phases);
     EXPECT_EQ(a.pdes.mailboxMessages, b.pdes.mailboxMessages);
+    EXPECT_EQ(a.pdes.idleDomainSkips, b.pdes.idleDomainSkips);
+    if (!cross_sync) {
+        EXPECT_EQ(a.pdes.adaptive, b.pdes.adaptive);
+        EXPECT_EQ(a.pdes.windows, b.pdes.windows);
+        EXPECT_EQ(a.pdes.emptyBroadcastsSkipped,
+                  b.pdes.emptyBroadcastsSkipped);
+    }
 }
 
 TEST(PdesDeterminism, JobsCountIsInvisible)
@@ -430,6 +448,193 @@ TEST(PdesDeterminism, NarrowedWindowIsItsOwnDeterministicModel)
     EXPECT_TRUE(narrow1.checksPassed())
         << narrow1.serial.error << narrow1.invariants.error;
     expectSameResult(narrow1, narrow4);
+}
+
+// --- variable lookahead (adaptive sync) -----------------------------
+
+TEST(PdesAdaptive, WindowBoundHelpersClampAndStayMonotone)
+{
+    // Plain arithmetic away from the edge...
+    EXPECT_EQ(pdesWindowEnd(0, 6), Tick{6});
+    EXPECT_EQ(pdesWindowEnd(100, 250), Tick{350});
+    EXPECT_EQ(pdesEot(10, 6), Tick{16});
+    // ...and saturation instead of wraparound at kTickMax.
+    EXPECT_EQ(pdesWindowEnd(kTickMax - 3, 6), kTickMax);
+    EXPECT_EQ(pdesWindowEnd(kTickMax, 6), kTickMax);
+    EXPECT_EQ(pdesEot(kTickMax - 3, 6), kTickMax);
+    EXPECT_EQ(pdesEot(kTickMax, 6), kTickMax)
+        << "an idle domain (next == kTickMax) must impose no bound";
+    // EOT is monotone in the next-event tick - the property that makes
+    // min-over-domains a safe window bound even as domains drain.
+    for (Tick la : {Tick{1}, Tick{6}, Tick{250}}) {
+        const Tick nexts[] = {0,           1,       5,
+                              6,           1000,    kTickMax - 500,
+                              kTickMax - 1, kTickMax};
+        Tick prev = 0;
+        for (Tick next : nexts) {
+            const Tick eot = pdesEot(next, la);
+            EXPECT_GE(eot, prev) << "next=" << next << " la=" << la;
+            EXPECT_GT(eot, next - (next == kTickMax ? 1 : 0))
+                << "EOT may never precede the event it bounds";
+            prev = eot;
+        }
+    }
+}
+
+TEST(PdesAdaptive, MatchesFixedSyncAcrossJobsAndChaos)
+{
+    // The tentpole identity gate: for every (workload, chaos, jobs)
+    // cell the adaptive run must reproduce the fixed-cadence run bit
+    // for bit - fingerprints, commit counts, checker verdicts, phase
+    // and mailbox counts - while closing far fewer windows.
+    for (const char *preset : {"", "jitter", "heavy"}) {
+        for (std::uint32_t jobs : {1u, 2u, 4u}) {
+            SCOPED_TRACE(std::string("preset=") +
+                         (*preset ? preset : "off") +
+                         " jobs=" + std::to_string(jobs));
+            const RunResult fixed =
+                runPdes("barnes", 16, 4, jobs, preset, 42,
+                        PdesConfig::Sync::Fixed);
+            const RunResult adaptive =
+                runPdes("barnes", 16, 4, jobs, preset, 42,
+                        PdesConfig::Sync::Adaptive);
+            ASSERT_TRUE(fixed.completed);
+            ASSERT_TRUE(fixed.checksPassed())
+                << fixed.serial.error << fixed.invariants.error;
+            expectSameResult(fixed, adaptive, /*cross_sync=*/true);
+            EXPECT_FALSE(fixed.pdes.adaptive);
+            EXPECT_TRUE(adaptive.pdes.adaptive);
+            EXPECT_EQ(fixed.pdes.windows, fixed.pdes.phases)
+                << "fixed sync closes a window every sub-phase";
+            EXPECT_LT(adaptive.pdes.windows * 5, fixed.pdes.windows)
+                << "adaptive must cross sparse stretches in wide "
+                   "windows";
+        }
+    }
+}
+
+TEST(PdesAdaptive, SpotCheckLargerGridsTruncatedMidWindow)
+{
+    // Larger partitions, capped at a tick limit that lands mid-window
+    // for both cadences: the truncated prefix must still be identical
+    // across sync modes and jobs counts (the max_ticks clamp cuts the
+    // same sub-phase short either way).
+    struct Cell {
+        const char *app;
+        std::uint32_t procs;
+        std::uint32_t domains;
+        Tick cap;
+    };
+    for (const Cell &c : {Cell{"barnes", 64, 8, 100'003},
+                          Cell{"swim", 256, 16, 60'007}}) {
+        SCOPED_TRACE(std::string(c.app) + " procs=" +
+                     std::to_string(c.procs));
+        const RunResult fixed =
+            runPdes(c.app, c.procs, c.domains, 2, "", 42,
+                    PdesConfig::Sync::Fixed, c.cap);
+        const RunResult adaptive =
+            runPdes(c.app, c.procs, c.domains, 2, "", 42,
+                    PdesConfig::Sync::Adaptive, c.cap);
+        EXPECT_FALSE(fixed.completed)
+            << "cap chosen to truncate the run";
+        expectSameResult(fixed, adaptive, /*cross_sync=*/true);
+        const RunResult adaptive4 =
+            runPdes(c.app, c.procs, c.domains, 4, "", 42,
+                    PdesConfig::Sync::Adaptive, c.cap);
+        expectSameResult(adaptive, adaptive4);
+    }
+}
+
+TEST(PdesAdaptive, WindowWidthDistributionIsSound)
+{
+    const RunResult res = runPdes("barnes", 16, 4, 2);
+    ASSERT_TRUE(res.completed);
+    EXPECT_TRUE(res.pdes.adaptive) << "adaptive is the default";
+    EXPECT_EQ(res.pdes.windowWidth.count(), res.pdes.windows);
+    EXPECT_GE(res.pdes.windows, 1u);
+    EXPECT_LE(res.pdes.windows, res.pdes.phases);
+    // Every window spans at least one full sub-phase, and sub-phases
+    // are exactly one lookahead wide away from the tick limit.
+    EXPECT_GE(res.pdes.windowWidth.min(),
+              static_cast<double>(res.pdes.lookahead));
+    EXPECT_GE(res.pdes.windowWidth.percentile(99),
+              res.pdes.windowWidth.percentile(50));
+}
+
+TEST(PdesAdaptive, IdleDomainsAreNeverDispatched)
+{
+    // Domain 0 (procs 0-3, directories 0-3 under Interleave) runs a
+    // long scripted workload against its own directories; every other
+    // processor commits one trivial transaction and finishes. Commits
+    // still broadcast NSTID skips to every directory, so domains 1-3
+    // see a trickle of parcels - but between arrivals they have no
+    // events, and the idle fast path must skip them in those
+    // sub-phases without touching their queues, invisibly to the
+    // result.
+    auto build = [](PdesConfig::Sync sync, std::uint32_t jobs,
+                    std::vector<ScriptedSource> &srcs) {
+        SystemConfig cfg;
+        cfg.numProcs = 16;
+        cfg.homePolicy = HomePolicy::Interleave;
+        cfg.check.serial = true;
+        cfg.check.invariants = true;
+        cfg.pdes.domains = 4;
+        cfg.pdes.jobs = jobs;
+        cfg.pdes.sync = sync;
+        auto sys = std::make_unique<System>(cfg);
+        srcs.clear();
+        srcs.resize(16);
+        for (NodeId p = 0; p < 4; ++p) {
+            // 64 transactions per busy proc, each writing one word of
+            // the proc's own page (homed at directory p, domain 0).
+            for (std::uint32_t t = 0; t < 64; ++t) {
+                srcs[p].add({{TxOp::Kind::Compute, 10, 0, 0},
+                             {TxOp::Kind::Store, 0,
+                              static_cast<Addr>(p) * 4096 + t * 4,
+                              t + 1}});
+            }
+        }
+        for (NodeId p = 4; p < 16; ++p)
+            srcs[p].add({{TxOp::Kind::Compute, 5, 0, 0}});
+        for (NodeId p = 0; p < 16; ++p)
+            sys->setSource(p, &srcs[p]);
+        return sys;
+    };
+
+    std::vector<ScriptedSource> srcs;
+    auto sys = build(PdesConfig::Sync::Adaptive, 1, srcs);
+    const RunResult adaptive = sys->run(2'000'000'000ull);
+    ASSERT_TRUE(adaptive.completed);
+    ASSERT_TRUE(adaptive.checksPassed())
+        << adaptive.serial.error << adaptive.invariants.error;
+    EXPECT_GT(adaptive.pdes.idleDomainSkips, 0u);
+
+    // The engine state is kept alive by the System: domains 1-3 ran
+    // their short prologue plus the per-commit skip deliveries, a
+    // small fraction of the busy domain's event count.
+    const PdesState *st = sys->pdesInternals();
+    ASSERT_NE(st, nullptr);
+    ASSERT_EQ(st->domains.size(), 4u);
+    const std::uint64_t busy = st->domains[0]->eq.executed();
+    for (std::size_t d = 1; d < 4; ++d) {
+        const std::uint64_t idle = st->domains[d]->eq.executed();
+        EXPECT_LT(idle * 2, busy)
+            << "domain " << d << " executed " << idle
+            << " events vs " << busy << " on the busy domain";
+        EXPECT_EQ(st->domains[d]->eq.pending(), 0u);
+        EXPECT_TRUE(st->domains[d]->storeLog.empty());
+        EXPECT_FALSE(st->domains[d]->net->hasParcels());
+    }
+
+    // Invisible: same run under fixed sync and under more workers.
+    std::vector<ScriptedSource> srcsF;
+    auto sysF = build(PdesConfig::Sync::Fixed, 1, srcsF);
+    const RunResult fixed = sysF->run(2'000'000'000ull);
+    expectSameResult(fixed, adaptive, /*cross_sync=*/true);
+    std::vector<ScriptedSource> srcs4;
+    auto sys4 = build(PdesConfig::Sync::Adaptive, 4, srcs4);
+    const RunResult adaptive4 = sys4->run(2'000'000'000ull);
+    expectSameResult(adaptive, adaptive4);
 }
 
 // --- PDES x chaos ---------------------------------------------------
