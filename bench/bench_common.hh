@@ -19,6 +19,7 @@
 #include "core/report.hh"
 #include "core/sweep.hh"
 #include "core/system.hh"
+#include "obs/metrics.hh"
 #include "workload/synthetic_app.hh"
 
 namespace tccbench {
@@ -44,6 +45,9 @@ struct RunOutcome {
     /** Verdicts of any checkers armed via RunOptions::check. */
     CheckVerdict serial;
     CheckVerdict invariants;
+    /** Epochs the metrics sampler closed (0 when not armed via
+     *  RunOptions::trace). */
+    std::uint64_t metricsEpochs = 0;
 };
 
 /** Tweaks applied on top of the default Table 2 configuration. */
@@ -63,6 +67,9 @@ struct RunOptions {
     std::uint32_t dirCacheEntries = 0;
     /** Write-through commit ablation. */
     bool writeThroughCommit = false;
+    /** Observability (metricsEpoch / contentionTopK arm the epoch
+     *  sampler and conflict profiler; default all-off). */
+    TraceConfig trace;
 };
 
 /** Run @p profile once under @p opt and collect the outcome. */
@@ -79,6 +86,7 @@ runApp(const AppProfile &profile, const RunOptions &opt)
     cfg.check = opt.check;
     cfg.directory.dirCacheEntries = opt.dirCacheEntries;
     cfg.writeThroughCommit = opt.writeThroughCommit;
+    cfg.trace = opt.trace;
 
     System sys(cfg);
     auto sources = setupApp(sys, profile, opt.seed);
@@ -102,6 +110,8 @@ runApp(const AppProfile &profile, const RunOptions &opt)
     out.arenaChunks = as.chunks;
     out.serial = res.serial;
     out.invariants = res.invariants;
+    if (const MetricsSampler *m = sys.metricsSampler())
+        out.metricsEpochs = m->closed();
     return out;
 }
 

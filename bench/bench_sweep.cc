@@ -329,6 +329,29 @@ main(int argc, char **argv)
     const double speedup = serialSec / parallelSec;
     std::printf("speedup            : %8.2fx\n", speedup);
 
+    // Observability-is-free gate: re-run one grid point with the
+    // epoch sampler and the contention profiler armed. Sampling is
+    // purely observational, so the fingerprint must match the plain
+    // run bit for bit - any divergence means the metrics layer leaked
+    // into the simulation.
+    RunOptions armedOpt;
+    armedOpt.procs = grid[0].procs;
+    armedOpt.trace.metricsEpoch = 500;
+    armedOpt.trace.contentionTopK = 16;
+    const RunOutcome armed =
+        runApp(appProfile(grid[0].app), armedOpt);
+    if (!(fingerprint(armed) == fingerprint(serial[0]))) {
+        std::fprintf(stderr,
+                     "MISMATCH at %s/%u: run with metrics sampler "
+                     "armed is not bit-identical to the plain run\n",
+                     grid[0].app.c_str(), grid[0].procs);
+        return 1;
+    }
+    const std::uint64_t metricsEpochs = armed.metricsEpochs;
+    std::printf("observability gate : armed == off (fingerprint "
+                "identical, %llu epochs sampled)\n",
+                (unsigned long long)metricsEpochs);
+
     const FlatMapResult flat =
         flatMapEventsPerSec(smoke ? 32u : 1024u);
     std::printf("flat-map e2e       : %12.0f events/sec\n",
@@ -377,6 +400,7 @@ main(int argc, char **argv)
                  "  \"arena_peak_bytes\": %llu,\n"
                  "  \"arena_chunks\": %llu,\n"
                  "  \"trace_events_captured\": %llu,\n"
+                 "  \"metrics_epochs\": %llu,\n"
                  "  \"chaos_configs_passed\": %zu,\n"
                  "  \"chaos_configs_total\": %zu,\n"
                  "  \"hardware_concurrency\": %u,\n"
@@ -394,7 +418,8 @@ main(int argc, char **argv)
                  flat.eventsPerSec,
                  (unsigned long long)flat.arenaPeakBytes,
                  (unsigned long long)flat.arenaChunks,
-                 (unsigned long long)traceEvents, chaosPassed,
+                 (unsigned long long)traceEvents,
+                 (unsigned long long)metricsEpochs, chaosPassed,
                  chaosTotal, hw, TCC_GIT_REV,
                  smoke ? "true" : "false", nApps, grid.size());
     std::fclose(f);

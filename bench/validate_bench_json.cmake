@@ -6,6 +6,7 @@
 #   cmake -DJSON_FILE=<path> [-DREQUIRED_KEYS=a,b.c] \
 #         [-DREQUIRED_STRING_KEYS=d,e] \
 #         [-DREQUIRED_ARRAY_KEYS=f,g.h] \
+#         [-DREQUIRED_PRESENT_KEYS=i,j] [-DSERIES_OBJECT=k.series] \
 #         [-DREQUIRE_CONFIG=OFF] -P validate_bench_json.cmake
 # Key lists are comma-separated; a dot inside a key descends into
 # nested objects ("system.procs" checks doc.system.procs). No emitted
@@ -24,6 +25,7 @@ endif()
 string(REPLACE "," ";" key_list "${REQUIRED_KEYS}")
 string(REPLACE "," ";" string_key_list "${REQUIRED_STRING_KEYS}")
 string(REPLACE "," ";" array_key_list "${REQUIRED_ARRAY_KEYS}")
+string(REPLACE "," ";" present_key_list "${REQUIRED_PRESENT_KEYS}")
 
 file(READ "${JSON_FILE}" doc)
 
@@ -70,6 +72,55 @@ foreach(key IN LISTS array_key_list)
     message(FATAL_ERROR "${JSON_FILE}: array '${key}' is empty")
   endif()
 endforeach()
+
+# Present-with-any-type keys: the key must exist but may hold an empty
+# array or any JSON type (e.g. contention.blame_edges on a run that saw
+# no aborts).
+foreach(key IN LISTS present_key_list)
+  string(REPLACE "." ";" path "${key}")
+  string(JSON ktype ERROR_VARIABLE err TYPE "${doc}" ${path})
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing key '${key}': ${err}")
+  endif()
+endforeach()
+
+# Time-series object check: with -DSERIES_OBJECT=<key> every member of
+# doc.<key> must be an array and all members must have equal length -
+# the column contract of the metrics epoch series (one value per probe
+# per closed epoch; a ragged series means a probe skipped an epoch).
+if(DEFINED SERIES_OBJECT)
+  string(REPLACE "." ";" spath "${SERIES_OBJECT}")
+  string(JSON stype ERROR_VARIABLE err TYPE "${doc}" ${spath})
+  if(err OR NOT stype STREQUAL "OBJECT")
+    message(FATAL_ERROR
+            "${JSON_FILE}: '${SERIES_OBJECT}' must be an object: ${err}")
+  endif()
+  string(JSON series GET "${doc}" ${spath})
+  string(JSON nmember LENGTH "${series}")
+  if(nmember EQUAL 0)
+    message(FATAL_ERROR
+            "${JSON_FILE}: series object '${SERIES_OBJECT}' is empty")
+  endif()
+  set(series_len "")
+  math(EXPR last "${nmember} - 1")
+  foreach(i RANGE ${last})
+    string(JSON member MEMBER "${series}" ${i})
+    string(JSON mtype TYPE "${series}" "${member}")
+    if(NOT mtype STREQUAL "ARRAY")
+      message(FATAL_ERROR
+              "${JSON_FILE}: series member '${SERIES_OBJECT}.${member}' "
+              "is not an array (${mtype})")
+    endif()
+    string(JSON mlen LENGTH "${series}" "${member}")
+    if(series_len STREQUAL "")
+      set(series_len "${mlen}")
+    elseif(NOT mlen EQUAL series_len)
+      message(FATAL_ERROR
+              "${JSON_FILE}: ragged series: '${SERIES_OBJECT}.${member}' "
+              "has ${mlen} entries, expected ${series_len}")
+    endif()
+  endforeach()
+endif()
 
 if(REQUIRE_CONFIG)
   string(JSON cfg_type ERROR_VARIABLE err TYPE "${doc}" config)

@@ -1,0 +1,34 @@
+# Validate a --metrics-out CSV time series: a header starting with
+# epoch,start_tick followed by at least one data row, every row with
+# the header's column count. Run as
+#   cmake -DCSV_FILE=<path> -P validate_metrics_csv.cmake
+if(NOT DEFINED CSV_FILE)
+  message(FATAL_ERROR "pass -DCSV_FILE=<path>")
+endif()
+file(STRINGS "${CSV_FILE}" lines)
+list(LENGTH lines nlines)
+if(nlines LESS 2)
+  message(FATAL_ERROR
+          "${CSV_FILE}: expected a header plus data rows, got "
+          "${nlines} line(s)")
+endif()
+list(GET lines 0 header)
+if(NOT header MATCHES "^epoch,start_tick,")
+  message(FATAL_ERROR
+          "${CSV_FILE}: header must start with 'epoch,start_tick,': "
+          "'${header}'")
+endif()
+string(REPLACE "," ";" header_cols "${header}")
+list(LENGTH header_cols ncols)
+math(EXPR last "${nlines} - 1")
+foreach(i RANGE 1 ${last})
+  list(GET lines ${i} row)
+  string(REPLACE "," ";" row_cols "${row}")
+  list(LENGTH row_cols row_ncols)
+  if(NOT row_ncols EQUAL ncols)
+    message(FATAL_ERROR
+            "${CSV_FILE}: row ${i} has ${row_ncols} columns, header "
+            "has ${ncols}")
+  endif()
+endforeach()
+message(STATUS "${CSV_FILE}: ${nlines} lines, ${ncols} columns OK")

@@ -39,6 +39,20 @@
  *     --stats FILE      write a full gem5-style stats dump to FILE
  *     --stats-json FILE write the stats tree as JSON to FILE (includes
  *                       the resolved configuration)
+ *     --metrics-epoch N arm the epoch sampler: snapshot commits,
+ *                       violations, cycles, NSTID lag, directory and
+ *                       network counters every N cycles (series land
+ *                       in --stats-json and --metrics-out)
+ *     --metrics-out FILE write the epoch time series as CSV to FILE
+ *                       (arms the sampler with a 1000-cycle epoch if
+ *                       --metrics-epoch was not given)
+ *     --contention K    arm the conflict profiler: top-K hot-word
+ *                       table + abort blame graph (in --stats /
+ *                       --stats-json)
+ *     --contention-dot FILE
+ *                       write the abort blame graph as GraphViz DOT to
+ *                       FILE (arms the profiler with K=32 if
+ *                       --contention was not given)
  */
 
 #include <cstdio>
@@ -52,6 +66,8 @@
 #include "core/report.hh"
 #include "core/system.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/contention.hh"
+#include "obs/metrics.hh"
 #include "workload/synthetic_app.hh"
 
 using namespace tcc;
@@ -71,7 +87,9 @@ usage(const char *argv0)
                  "[--pdes-sync fixed|adaptive] [--seed N] "
                  "[--check serial,invariants] [--trace] "
                  "[--trace-out FILE] [--stats FILE] "
-                 "[--stats-json FILE]\n",
+                 "[--stats-json FILE] [--metrics-epoch N] "
+                 "[--metrics-out FILE] [--contention K] "
+                 "[--contention-dot FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -159,6 +177,8 @@ main(int argc, char **argv)
     std::string stats_path;
     std::string stats_json_path;
     std::string trace_out_path;
+    std::string metrics_out_path;
+    std::string contention_dot_path;
     bool trace_text = false;
     SystemConfig cfg;
     cfg.numProcs = 16;
@@ -244,10 +264,26 @@ main(int argc, char **argv)
             stats_path = next();
         } else if (arg == "--stats-json") {
             stats_json_path = next();
+        } else if (arg == "--metrics-epoch") {
+            cfg.trace.metricsEpoch =
+                static_cast<Tick>(std::atoll(next().c_str()));
+        } else if (arg == "--metrics-out") {
+            metrics_out_path = next();
+        } else if (arg == "--contention") {
+            cfg.trace.contentionTopK =
+                static_cast<std::size_t>(std::atoi(next().c_str()));
+        } else if (arg == "--contention-dot") {
+            contention_dot_path = next();
         } else {
             usage(argv[0]);
         }
     }
+    // Requesting an output file arms the matching layer with a sane
+    // default if the knob itself was not given.
+    if (!metrics_out_path.empty() && cfg.trace.metricsEpoch == 0)
+        cfg.trace.metricsEpoch = 1000;
+    if (!contention_dot_path.empty() && cfg.trace.contentionTopK == 0)
+        cfg.trace.contentionTopK = ContentionProfiler::kDefaultTopK;
     // One seed drives both the workload and the fault injection, so a
     // chaos run is reproduced by its (preset, seed) pair alone.
     cfg.network.chaos.seed = seed;
@@ -416,6 +452,50 @@ main(int argc, char **argv)
                     trace_out_path.c_str(),
                     (unsigned long long)sys.traceRecorder().captured(),
                     (unsigned long long)sys.traceRecorder().dropped());
+    }
+
+    if (!metrics_out_path.empty()) {
+        const MetricsSampler *m = sys.metricsSampler();
+        std::ofstream f(metrics_out_path);
+        if (!f || m == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         metrics_out_path.c_str());
+            return 1;
+        }
+        writeMetricsCsv(*m, f);
+        std::printf("\nmetrics CSV written to %s (%llu epochs of %llu "
+                    "cycles, %llu dropped)\n",
+                    metrics_out_path.c_str(),
+                    (unsigned long long)m->closed(),
+                    (unsigned long long)m->epochLength(),
+                    (unsigned long long)m->dropped());
+    }
+
+    if (!contention_dot_path.empty()) {
+        const ContentionProfiler *c = sys.contentionProfiler();
+        std::ofstream f(contention_dot_path);
+        if (!f || c == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         contention_dot_path.c_str());
+            return 1;
+        }
+        c->writeDot(f);
+        std::printf("\nblame graph written to %s (%llu conflicts "
+                    "recorded) - render with dot -Tsvg\n",
+                    contention_dot_path.c_str(),
+                    (unsigned long long)c->conflictsRecorded());
+    }
+
+    // The ring silently overwrites its oldest records when full; make
+    // the loss loud so a truncated ledger/trace is never mistaken for
+    // a complete one.
+    if (sys.traceRecorder().dropped() != 0) {
+        std::fprintf(stderr,
+                     "warning: protocol trace ring dropped %llu of "
+                     "%llu events (oldest overwritten); raise the "
+                     "ring capacity to keep the full history\n",
+                     (unsigned long long)sys.traceRecorder().dropped(),
+                     (unsigned long long)sys.traceRecorder().captured());
     }
 
     if (res.serial.checked) {

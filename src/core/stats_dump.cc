@@ -1,10 +1,14 @@
 #include "core/stats_dump.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hh"
+#include "obs/contention.hh"
+#include "obs/metrics.hh"
 #include "obs/tx_ledger.hh"
 
 namespace tcc {
@@ -156,6 +160,28 @@ jsonDistribution(JsonWriter &j, const char *key, const Distribution &d)
     j.endObj();
 }
 
+/** Aggregate per-entry violation causes across the whole ledger:
+ *  (address, count) sorted by count descending, address ascending. */
+std::vector<std::pair<Addr, std::uint64_t>>
+aggregateCauses(const std::vector<TxLedgerEntry> &ledger)
+{
+    FlatMap<Addr, std::uint64_t> agg;
+    for (const TxLedgerEntry &e : ledger) {
+        for (const auto &[addr, n] : e.causes)
+            agg[addr] += n;
+    }
+    std::vector<std::pair<Addr, std::uint64_t>> out;
+    out.reserve(agg.size());
+    for (const auto &kv : agg)
+        out.emplace_back(kv.first, kv.second);
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    return out;
+}
+
 void
 dumpLedgerText(std::ostream &os,
                const std::vector<TxLedgerEntry> &ledger)
@@ -180,7 +206,24 @@ dumpLedgerText(std::ostream &os,
         if (e.hasViolation) {
             line(os, pre + ".violation_addr", e.violationAddr);
             line(os, pre + ".violation_writer", e.violationWriter);
+            line(os, pre + ".causes", e.causes.size());
+            for (std::size_t c = 0; c < e.causes.size(); ++c) {
+                const std::string cp =
+                    pre + ".cause" + std::to_string(c);
+                line(os, cp + ".addr", e.causes[c].first);
+                line(os, cp + ".count", e.causes[c].second);
+            }
         }
+    }
+    // Ledger-wide violation-cause histogram: which addresses caused
+    // retries, not just each transaction's *last* cause.
+    const auto causes = aggregateCauses(ledger);
+    line(os, "tx_ledger.violation_causes.count", causes.size());
+    for (std::size_t c = 0; c < causes.size(); ++c) {
+        const std::string cp =
+            "tx_ledger.violation_causes." + std::to_string(c);
+        line(os, cp + ".addr", causes[c].first);
+        line(os, cp + ".count", causes[c].second);
     }
     // Cross-commit distributions (mean/p50/p99) of the fan-out shape:
     // how many directories a commit touches and what it cost in
@@ -328,6 +371,42 @@ dumpStats(const System &sys, std::ostream &os)
         dumpDistribution(os, pre + ".working_set", s.workingSet);
     }
 
+    // --- epoch metrics (summary; the series lives in --stats-json and
+    // --- the --metrics-out CSV) --------------------------------------
+    if (const MetricsSampler *m = sys.metricsSampler()) {
+        line(os, "metrics.epoch", m->epochLength());
+        line(os, "metrics.epochs_closed", m->closed());
+        line(os, "metrics.epochs_dropped", m->dropped());
+        line(os, "metrics.probes", m->probeCount());
+    }
+
+    // --- conflict attribution ----------------------------------------
+    if (const ContentionProfiler *c = sys.contentionProfiler()) {
+        line(os, "contention.top_k", c->topK());
+        line(os, "contention.conflicts", c->conflictsRecorded());
+        line(os, "contention.evictions", c->evictions());
+        const auto words = c->hotWords();
+        line(os, "contention.hot_words.count", words.size());
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const std::string pre =
+                "contention.hot_word." + std::to_string(i);
+            line(os, pre + ".addr", words[i].addr);
+            line(os, pre + ".sr_conflicts", words[i].s.srConflicts);
+            line(os, pre + ".sm_conflicts", words[i].s.smConflicts);
+            line(os, pre + ".aborts", words[i].s.aborts);
+            line(os, pre + ".wasted_cycles", words[i].s.wasted);
+        }
+        const auto edges = c->blameEdges();
+        line(os, "contention.blame_edges.count", edges.size());
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            const std::string pre =
+                "contention.blame_edge." + std::to_string(i);
+            line(os, pre + ".killer", edges[i].killer);
+            line(os, pre + ".victim", edges[i].victim);
+            line(os, pre + ".count", edges[i].count);
+        }
+    }
+
     // --- transaction ledger (only when something was traced) ----------
     if (sys.traceRecorder().captured() != 0)
         dumpLedgerText(os, buildTxLedger(sys.traceRecorder()));
@@ -431,6 +510,68 @@ dumpStatsJson(const System &sys, std::ostream &os)
         j.endObj();
     }
 
+    // Epoch time series: one parallel array per probe plus the derived
+    // nstid_lag (tids issued minus the slowest directory's NSTID - the
+    // commit pipeline's depth over time).
+    if (const MetricsSampler *m = sys.metricsSampler()) {
+        j.beginObj("metrics");
+        j.kv("epoch", m->epochLength());
+        j.kv("epochs_closed", m->closed());
+        j.kv("epochs_dropped", m->dropped());
+        j.kv("first_epoch", m->firstEpoch());
+        j.beginObj("series");
+        for (std::size_t p = 0; p < m->probeCount(); ++p) {
+            j.beginArr(m->probeName(p));
+            for (std::size_t r = 0; r < m->rows(); ++r)
+                j.kv(nullptr, m->at(r, p));
+            j.endArr();
+        }
+        const int issued = m->probeIndex("tids_issued");
+        const int nstid = m->probeIndex("nstid_min");
+        if (issued >= 0 && nstid >= 0) {
+            j.beginArr("nstid_lag");
+            for (std::size_t r = 0; r < m->rows(); ++r) {
+                const std::uint64_t hi =
+                    m->at(r, static_cast<std::size_t>(issued));
+                const std::uint64_t lo =
+                    m->at(r, static_cast<std::size_t>(nstid));
+                j.kv(nullptr, hi > lo ? hi - lo : 0);
+            }
+            j.endArr();
+        }
+        j.endObj();
+        j.endObj();
+    }
+
+    // Conflict attribution: hot words and the abort blame graph.
+    if (const ContentionProfiler *c = sys.contentionProfiler()) {
+        j.beginObj("contention");
+        j.kv("top_k", static_cast<std::uint64_t>(c->topK()));
+        j.kv("conflicts", c->conflictsRecorded());
+        j.kv("evictions", c->evictions());
+        j.beginArr("hot_words");
+        for (const auto &w : c->hotWords()) {
+            j.beginObj();
+            j.kv("addr", w.addr);
+            j.kv("sr_conflicts", w.s.srConflicts);
+            j.kv("sm_conflicts", w.s.smConflicts);
+            j.kv("aborts", w.s.aborts);
+            j.kv("wasted_cycles", w.s.wasted);
+            j.endObj();
+        }
+        j.endArr();
+        j.beginArr("blame_edges");
+        for (const auto &e : c->blameEdges()) {
+            j.beginObj();
+            j.kv("killer", static_cast<std::uint64_t>(e.killer));
+            j.kv("victim", static_cast<std::uint64_t>(e.victim));
+            j.kv("count", e.count);
+            j.endObj();
+        }
+        j.endArr();
+        j.endObj();
+    }
+
     j.beginArr("procs");
     for (NodeId p = 0; p < sys.numProcs(); ++p) {
         const auto &s = sys.proc(p).stats();
@@ -524,6 +665,14 @@ dumpStatsJson(const System &sys, std::ostream &os)
         if (e.hasViolation) {
             j.kv("violation_addr", e.violationAddr);
             j.kv("violation_writer", e.violationWriter);
+            j.beginArr("causes");
+            for (const auto &[addr, n] : e.causes) {
+                j.beginObj();
+                j.kv("addr", addr);
+                j.kv("count", static_cast<std::uint64_t>(n));
+                j.endObj();
+            }
+            j.endArr();
         }
         j.endObj();
     }
@@ -554,6 +703,15 @@ dumpStatsJson(const System &sys, std::ostream &os)
             j.kv("p99", mcast.percentile(99));
         }
         j.endObj();
+        // Ledger-wide violation-cause histogram (count desc, addr asc).
+        j.beginArr("violation_causes");
+        for (const auto &[addr, n] : aggregateCauses(ledger)) {
+            j.beginObj();
+            j.kv("addr", addr);
+            j.kv("count", n);
+            j.endObj();
+        }
+        j.endArr();
         j.endObj();
     }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/contention.hh"
+#include "obs/metrics.hh"
 #include "sim/domain.hh"
 
 namespace tcc {
@@ -184,9 +186,83 @@ System::System(const SystemConfig &cfg)
             dispatch(n, msg);
         });
     }
+
+    if (cfg.trace.metricsEpoch != 0) {
+        metricsSamp = std::make_unique<MetricsSampler>(
+            cfg.trace.metricsEpoch, cfg.trace.metricsCapacity, &arena);
+        registerMetricProbes(*metricsSamp, 0, cfg.numProcs, *net);
+    }
+    if (cfg.trace.contentionTopK != 0) {
+        contentionProf = std::make_unique<ContentionProfiler>(
+            cfg.trace.contentionTopK, &arena);
+        for (auto &p : procs)
+            p->setContentionProfiler(contentionProf.get());
+    }
 }
 
 System::~System() = default;
+
+void
+System::registerMetricProbes(MetricsSampler &m, NodeId first,
+                             std::uint32_t count, const Network &nw)
+{
+    using K = MetricsSampler::Kind;
+    using G = MetricsSampler::Merge;
+    const NodeId last = first + count;
+    // Probes read only state owned by the nodes [first, last) (or the
+    // network shim passed in), so a PDES domain's sampler stays inside
+    // its domain's confinement boundary. Registration order here IS
+    // the column schema; PDES merging relies on every domain calling
+    // this same function.
+    m.addProbe("commits", K::Delta, G::Sum, [this, first, last] {
+        std::uint64_t v = 0;
+        for (NodeId n = first; n < last; ++n)
+            v += procs[n]->stats().txnsCommitted;
+        return v;
+    });
+    m.addProbe("violations", K::Delta, G::Sum, [this, first, last] {
+        std::uint64_t v = 0;
+        for (NodeId n = first; n < last; ++n)
+            v += procs[n]->stats().violations;
+        return v;
+    });
+    m.addProbe("useful_cycles", K::Delta, G::Sum, [this, first, last] {
+        std::uint64_t v = 0;
+        for (NodeId n = first; n < last; ++n)
+            v += procs[n]->stats().usefulCycles;
+        return v;
+    });
+    m.addProbe("wasted_cycles", K::Delta, G::Sum, [this, first, last] {
+        std::uint64_t v = 0;
+        for (NodeId n = first; n < last; ++n)
+            v += procs[n]->stats().violationCycles;
+        return v;
+    });
+    // The vendor lives at node 0; other domains contribute 0 and the
+    // Max merge selects the owning domain's reading.
+    m.addProbe("tids_issued", K::Gauge, G::Max, [this, first] {
+        return first == 0 ? tidVendor->issued() : std::uint64_t(0);
+    });
+    m.addProbe("nstid_min", K::Gauge, G::Min, [this, first, last] {
+        std::uint64_t v = ~std::uint64_t(0);
+        for (NodeId n = first; n < last; ++n)
+            v = std::min<std::uint64_t>(v, dirs[n]->nstid());
+        return v;
+    });
+    m.addProbe("dir_busy_cycles", K::Delta, G::Sum,
+               [this, first, last] {
+                   std::uint64_t v = 0;
+                   for (NodeId n = first; n < last; ++n)
+                       v += dirs[n]->stats().busyCycles;
+                   return v;
+               });
+    m.addProbe("net_bytes", K::Delta, G::Sum,
+               [&nw] { return nw.stats().totalBytes; });
+    m.addProbe("net_messages", K::Delta, G::Sum,
+               [&nw] { return nw.stats().messages; });
+    m.addProbe("mcast_nic_events", K::Delta, G::Sum,
+               [&nw] { return nw.stats().multicastNicEvents; });
+}
 
 void
 System::buildPdes()
@@ -270,6 +346,25 @@ System::buildPdes()
         d->net->connect(n, [this, n](const Message &msg) {
             dispatch(n, msg);
         });
+    }
+
+    // Observability layers: one private instance per domain, touched
+    // only by that domain's worker thread; merged at finalize.
+    for (auto &d : st.domains) {
+        if (config.trace.metricsEpoch != 0) {
+            d->metrics = std::make_unique<MetricsSampler>(
+                config.trace.metricsEpoch, config.trace.metricsCapacity,
+                &d->arena);
+            registerMetricProbes(*d->metrics, d->spec.firstNode,
+                                 d->spec.numNodes, *d->net);
+        }
+        if (config.trace.contentionTopK != 0) {
+            d->contention = std::make_unique<ContentionProfiler>(
+                config.trace.contentionTopK, &d->arena);
+            for (NodeId n = d->spec.firstNode;
+                 n < d->spec.firstNode + d->spec.numNodes; ++n)
+                procs[n]->setContentionProfiler(d->contention.get());
+        }
     }
 }
 
@@ -359,15 +454,33 @@ System::run(Tick max_ticks)
         p->start();
 
     RunResult res;
-    while (!eventq.empty() && eventq.now() <= max_ticks) {
-        eventq.step();
-        ++res.events;
-        // An invariant failure halts the run at the next event
-        // boundary: the protocol state is wrong from here on, and
-        // running further would only bury the first diagnostic under
-        // follow-on carnage (or trip a panic in the model itself).
-        if (invariants && invariants->failed())
-            break;
+    if (metricsSamp) {
+        // Identical to the loop below plus the epoch hook: peeking the
+        // next event's tick before executing it closes every epoch
+        // whose boundary has passed, with the events inside it - and
+        // only those - already applied. Sampling never touches sim
+        // state, so both loops produce bit-identical results; the off
+        // path stays byte-for-byte the legacy loop.
+        while (!eventq.empty() && eventq.now() <= max_ticks) {
+            metricsSamp->advanceTo(eventq.nextWhen());
+            eventq.step();
+            ++res.events;
+            if (invariants && invariants->failed())
+                break;
+        }
+        metricsSamp->finish(eventq.now());
+    } else {
+        while (!eventq.empty() && eventq.now() <= max_ticks) {
+            eventq.step();
+            ++res.events;
+            // An invariant failure halts the run at the next event
+            // boundary: the protocol state is wrong from here on, and
+            // running further would only bury the first diagnostic
+            // under follow-on carnage (or trip a panic in the model
+            // itself).
+            if (invariants && invariants->failed())
+                break;
+        }
     }
     const bool halted_on_failure = invariants && invariants->failed();
     const bool hit_tick_limit = !eventq.empty() && !halted_on_failure;
@@ -503,7 +616,26 @@ System::runPdes(Tick max_ticks)
             if (pu.next > st.curLimit)
                 continue;
             PdesDomain &d = *st.domains[i];
-            d.eq.runUntil(st.curLimit);
+            if (d.metrics) {
+                // Metrics-aware stepping, clamped to the window end:
+                // parcels injected at the barrier arrive at or after
+                // window_end (= curLimit + 1), so every epoch ending
+                // inside the window is final once local events have
+                // run. The trailing runUntil executes nothing; it only
+                // advances now() to the limit, exactly like the plain
+                // path below.
+                const Tick bound = st.curLimit >= kTickMax - 1
+                                       ? kTickMax
+                                       : st.curLimit + 1;
+                while (d.eq.nextWhen() <= st.curLimit) {
+                    d.metrics->advanceTo(d.eq.nextWhen());
+                    d.eq.step();
+                }
+                d.metrics->advanceTo(bound);
+                d.eq.runUntil(st.curLimit);
+            } else {
+                d.eq.runUntil(st.curLimit);
+            }
             std::uint32_t f = 0;
             if (d.net->hasParcels())
                 f |= PdesState::kPulseParcels;
@@ -523,6 +655,10 @@ System::runPdes(Tick max_ticks)
     res.pdes.adaptive = adaptive;
     st.initPulse();
     Tick phase_start = 0;
+    /** Upper bound on every epoch boundary any domain has closed (the
+     *  last window_end); the common finish() tick that equalizes
+     *  per-domain epoch counts for the merge. */
+    Tick metrics_end = 0;
     Tick window_start = 0;
     bool window_open = false;
     bool halted = false;
@@ -543,6 +679,7 @@ System::runPdes(Tick max_ticks)
             window_open = true;
         }
         const Tick window_end = pdesWindowEnd(phase_start, lookahead);
+        metrics_end = window_end;
         st.curLimit = std::min(window_end - 1, max_ticks);
         crew.runPhase();
         ++res.pdes.phases;
@@ -611,6 +748,30 @@ System::runPdes(Tick max_ticks)
     for (auto &d : st.domains)
         net->accumulateStats(d->net->stats());
     st.mergeTraces(tracer);
+
+    // Close and merge the observability layers, in domain-id order.
+    // Every domain finishes at the same tick (>= every window bound it
+    // ever sampled under), so all close identical epoch counts and the
+    // merge is element-wise - independent of jobs by construction.
+    if (config.trace.metricsEpoch != 0) {
+        for (auto &d : st.domains)
+            d->metrics->finish(metrics_end);
+        metricsSamp = std::make_unique<MetricsSampler>(
+            config.trace.metricsEpoch, config.trace.metricsCapacity,
+            &arena);
+        registerMetricProbes(*metricsSamp, 0, config.numProcs, *net);
+        std::vector<const MetricsSampler *> parts;
+        parts.reserve(st.domains.size());
+        for (auto &d : st.domains)
+            parts.push_back(d->metrics.get());
+        metricsSamp->adoptMerged(parts);
+    }
+    if (config.trace.contentionTopK != 0) {
+        contentionProf = std::make_unique<ContentionProfiler>(
+            config.trace.contentionTopK, &arena);
+        for (auto &d : st.domains)
+            contentionProf->mergeFrom(*d->contention);
+    }
 
     populateRunStats(res, phase_start);
     lastPdesStats = res.pdes;

@@ -81,11 +81,22 @@ struct CheckConfig {
     std::size_t invariantHistory = 8;
 };
 
-/** Protocol event-ring sizing. */
+/** Protocol event-ring sizing and observability layers. */
 struct TraceConfig {
     /** Ring size in events (storage is claimed lazily, so runs with
      *  tracing off pay nothing). */
     std::size_t capacity = TraceRecorder::kDefaultCapacity;
+    /** Epoch sampler cadence in cycles; 0 (default) = off. When armed
+     *  the run loop closes one metrics row per epoch (see
+     *  obs/metrics.hh). Sampling is purely observational: results are
+     *  bit-identical armed or not. */
+    Tick metricsEpoch = 0;
+    /** Epoch ring size in rows (oldest rows are overwritten and
+     *  counted as dropped when a run outlives the ring). */
+    std::size_t metricsCapacity = 4096;
+    /** Contention profiler hot-word table bound; 0 (default) = off
+     *  (see obs/contention.hh). */
+    std::size_t contentionTopK = 0;
 };
 
 /**
@@ -270,7 +281,9 @@ struct RunResult {
     bool checksPassed() const { return serial.ok && invariants.ok; }
 };
 
-struct PdesState; // sim/domain.hh (PDES engine internals)
+struct PdesState;         // sim/domain.hh (PDES engine internals)
+class MetricsSampler;     // obs/metrics.hh (epoch time series)
+class ContentionProfiler; // obs/contention.hh (conflict attribution)
 
 /** A complete Scalable TCC machine. */
 class System
@@ -327,6 +340,22 @@ class System
     const TraceRecorder &traceRecorder() const { return tracer; }
     TraceRecorder &traceRecorder() { return tracer; }
 
+    /** Epoch time series of the last run, or null when metrics are off
+     *  (TraceConfig::metricsEpoch == 0). Under PDES this is the merged
+     *  cross-domain series, available after run(). */
+    const MetricsSampler *metricsSampler() const
+    {
+        return metricsSamp.get();
+    }
+
+    /** Conflict-attribution profiler, or null when off
+     *  (TraceConfig::contentionTopK == 0). Under PDES this is the
+     *  merged cross-domain table, available after run(). */
+    const ContentionProfiler *contentionProfiler() const
+    {
+        return contentionProf.get();
+    }
+
     /** PDES stats of the last run() (all zero for serial-engine runs
      *  or before any run); the copy dumpStats reads post-hoc. */
     const RunResult::PdesRunStats &pdesStats() const
@@ -380,6 +409,13 @@ class System
      *  for "current time" when the run did not complete. */
     void populateRunStats(RunResult &res, Tick fallback_now);
 
+    /** Register the standard probe set on @p m for nodes
+     *  [first, first+count) reading @p net's counters; the single
+     *  authority for probe order and merge ops (serial system and
+     *  every PDES domain register through here, so schemas match). */
+    void registerMetricProbes(MetricsSampler &m, NodeId first,
+                              std::uint32_t count, const Network &nw);
+
     SystemConfig config;
     /**
      * Run-private memory for every component below. Declared FIRST
@@ -404,6 +440,13 @@ class System
     std::unique_ptr<TidVendor> tidVendor;
     std::vector<std::unique_ptr<Directory>> dirs;
     std::vector<std::unique_ptr<TccProcessor>> procs;
+    /** Epoch sampler (null when metricsEpoch == 0). Serial: sampled by
+     *  the run loop. PDES: created at finalize to hold the merged
+     *  per-domain series. */
+    std::unique_ptr<MetricsSampler> metricsSamp;
+    /** Conflict profiler (null when contentionTopK == 0). Serial: fed
+     *  directly by the processors. PDES: merged at finalize. */
+    std::unique_ptr<ContentionProfiler> contentionProf;
 
     // Barrier service (SPMD phase barriers between transactions).
     std::vector<std::pair<NodeId, std::function<void()>>> barrierWaiters;

@@ -1,0 +1,176 @@
+#include "obs/contention.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tcc {
+
+namespace {
+
+constexpr unsigned kVictimBits = 12; // SystemConfig caps procs at 4096
+
+std::uint64_t
+edgeKey(Tid writer, NodeId victim)
+{
+    return (writer << kVictimBits) | victim;
+}
+
+} // namespace
+
+ContentionProfiler::ContentionProfiler(std::size_t top_k, Arena *arena)
+    : topK_(top_k < 1 ? 1 : top_k),
+      table(arena),
+      tidOwners(arena),
+      rawEdges(arena)
+{
+    table.reserve(topK_);
+}
+
+void
+ContentionProfiler::noteWord(Addr addr, const WordStats &delta)
+{
+    auto it = table.find(addr);
+    if (it != table.end()) {
+        WordStats &s = it->second;
+        s.srConflicts += delta.srConflicts;
+        s.smConflicts += delta.smConflicts;
+        s.aborts += delta.aborts;
+        s.wasted += delta.wasted;
+        return;
+    }
+    if (table.size() >= topK_) {
+        // Space-saving eviction: drop the minimum-weight entry; ties
+        // evict the larger address so lower addresses win. Scanning
+        // the table is O(K) but only runs when a *new* address arrives
+        // with the table full - steady-state hot words hit the
+        // accumulate path above.
+        Addr victim = 0;
+        bool have = false;
+        std::uint64_t min_w = 0;
+        for (const auto &kv : table) {
+            const std::uint64_t w = kv.second.weight();
+            if (!have || w < min_w || (w == min_w && kv.first > victim)) {
+                victim = kv.first;
+                min_w = w;
+                have = true;
+            }
+        }
+        table.erase(victim);
+        ++evictions_;
+    }
+    table[addr] = delta;
+}
+
+void
+ContentionProfiler::recordConflict(NodeId victim, Tid writer_tid, Addr addr,
+                                   bool sr, bool sm, bool aborted,
+                                   std::uint64_t wasted_cycles)
+{
+    ++conflicts_;
+    WordStats d;
+    d.srConflicts = sr ? 1 : 0;
+    d.smConflicts = sm ? 1 : 0;
+    if (aborted) {
+        d.aborts = 1;
+        d.wasted = wasted_cycles;
+        ++rawEdges[edgeKey(writer_tid, victim)];
+    }
+    noteWord(addr, d);
+}
+
+void
+ContentionProfiler::mergeFrom(const ContentionProfiler &other)
+{
+    // Replay the other table in ascending-address order so the merged
+    // result is independent of FlatMap slot order (and of the worker
+    // count that produced it).
+    std::vector<HotWord> words;
+    words.reserve(other.table.size());
+    for (const auto &kv : other.table)
+        words.push_back(HotWord{kv.first, kv.second});
+    std::sort(words.begin(), words.end(),
+              [](const HotWord &a, const HotWord &b) {
+                  return a.addr < b.addr;
+              });
+    for (const HotWord &w : words)
+        noteWord(w.addr, w.s);
+    for (const auto &kv : other.tidOwners)
+        tidOwners[kv.first] = kv.second;
+    for (const auto &kv : other.rawEdges)
+        rawEdges[kv.first] += kv.second;
+    conflicts_ += other.conflicts_;
+    evictions_ += other.evictions_;
+}
+
+std::vector<ContentionProfiler::HotWord>
+ContentionProfiler::hotWords() const
+{
+    std::vector<HotWord> out;
+    out.reserve(table.size());
+    for (const auto &kv : table)
+        out.push_back(HotWord{kv.first, kv.second});
+    std::sort(out.begin(), out.end(), [](const HotWord &a, const HotWord &b) {
+        if (a.s.weight() != b.s.weight())
+            return a.s.weight() > b.s.weight();
+        return a.addr < b.addr;
+    });
+    return out;
+}
+
+std::vector<ContentionProfiler::Edge>
+ContentionProfiler::blameEdges() const
+{
+    // Resolve writer TIDs to their owning node, folding edges that
+    // share a (killer, victim) pair.
+    FlatMap<std::uint64_t, std::uint64_t> folded;
+    for (const auto &kv : rawEdges) {
+        const Tid writer = kv.first >> kVictimBits;
+        const NodeId victim =
+            static_cast<NodeId>(kv.first & ((1u << kVictimBits) - 1));
+        auto it = tidOwners.find(writer);
+        const NodeId killer = it != tidOwners.end() ? it->second
+                                                    : kInvalidNode;
+        folded[(static_cast<std::uint64_t>(killer) << kVictimBits) |
+               victim] += kv.second;
+    }
+    std::vector<Edge> out;
+    out.reserve(folded.size());
+    for (const auto &kv : folded) {
+        Edge e;
+        e.killer = static_cast<NodeId>(kv.first >> kVictimBits);
+        e.victim = static_cast<NodeId>(kv.first & ((1u << kVictimBits) - 1));
+        e.count = kv.second;
+        out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(), [](const Edge &a, const Edge &b) {
+        if (a.killer != b.killer)
+            return a.killer < b.killer;
+        return a.victim < b.victim;
+    });
+    return out;
+}
+
+void
+ContentionProfiler::writeDot(std::ostream &os) const
+{
+    const std::vector<Edge> edges = blameEdges();
+    std::uint64_t max_count = 1;
+    for (const Edge &e : edges)
+        max_count = std::max(max_count, e.count);
+    os << "digraph blame {\n"
+       << "  // killer proc -> victim proc, label = aborts caused\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=circle];\n";
+    for (const Edge &e : edges) {
+        os << "  ";
+        if (e.killer == kInvalidNode)
+            os << "\"?\"";
+        else
+            os << "p" << e.killer;
+        os << " -> p" << e.victim << " [label=" << e.count << " penwidth="
+           << (1 + (4 * e.count) / max_count) << "];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace tcc

@@ -1,0 +1,161 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <ostream>
+
+namespace tcc {
+
+namespace {
+
+/** First epoch boundary at or above tick 0, saturating at kTickMax. */
+Tick
+saturatingAdd(Tick a, Tick b)
+{
+    return a > kTickMax - b ? kTickMax : a + b;
+}
+
+} // namespace
+
+MetricsSampler::MetricsSampler(Tick epoch_len, std::size_t capacity,
+                               Arena *arena)
+    : ring(ArenaAllocator<std::uint64_t>(arena)),
+      epochLen(epoch_len < 1 ? 1 : epoch_len),
+      epochEnd(epochLen),
+      cap(capacity < 1 ? 1 : capacity)
+{
+}
+
+void
+MetricsSampler::addProbe(const char *name, Kind kind, Merge merge,
+                         std::function<std::uint64_t()> fn)
+{
+    assert(total == 0 && "probes must be registered before sampling");
+    probes.push_back(Probe{name, kind, merge, std::move(fn), 0});
+}
+
+int
+MetricsSampler::probeIndex(const char *name) const
+{
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        if (std::strcmp(probes[p].name, name) == 0)
+            return static_cast<int>(p);
+    }
+    return -1;
+}
+
+void
+MetricsSampler::closeEpoch()
+{
+    if (ring.empty())
+        ring.resize(cap * probes.size(), 0);
+    std::uint64_t *row =
+        &ring[static_cast<std::size_t>(total % cap) * probes.size()];
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        Probe &pr = probes[p];
+        const std::uint64_t cur = pr.fn();
+        row[p] = pr.kind == Kind::Delta ? cur - pr.last : cur;
+        pr.last = cur;
+    }
+    ++total;
+}
+
+void
+MetricsSampler::closeUpTo(Tick next)
+{
+    // An empty queue reports kTickMax; the tail closes via finish().
+    if (next == kTickMax)
+        return;
+    while (next >= epochEnd && epochEnd != kTickMax) {
+        closeEpoch();
+        epochEnd = saturatingAdd(epochEnd, epochLen);
+    }
+}
+
+void
+MetricsSampler::finish(Tick final_tick)
+{
+    if (finished)
+        return;
+    finished = true;
+    closeUpTo(final_tick);
+    // One final (possibly partial) epoch containing final_tick. Every
+    // PDES domain finishes with the same tick, so all end up with the
+    // same closed() count - the merge precondition.
+    closeEpoch();
+    epochEnd = saturatingAdd(epochEnd, epochLen);
+}
+
+void
+MetricsSampler::adoptMerged(const std::vector<const MetricsSampler *> &parts)
+{
+    assert(!parts.empty());
+    const std::size_t np = probes.size();
+    total = parts[0]->total;
+    finished = true;
+    for (const MetricsSampler *part : parts) {
+        assert(part->probes.size() == np && "schema mismatch");
+        assert(part->total == total && "unequal epoch counts");
+        (void)part;
+    }
+    const std::size_t nrows =
+        total < cap ? static_cast<std::size_t>(total) : cap;
+    ring.assign(cap * np, 0);
+    // Write each merged row at the ring index at() will read it from
+    // (rotated when the per-domain rings wrapped).
+    const std::size_t base =
+        total > cap ? static_cast<std::size_t>(total % cap) : 0;
+    for (std::size_t r = 0; r < nrows; ++r) {
+        std::size_t dst = base + r;
+        if (dst >= cap)
+            dst -= cap;
+        std::uint64_t *row = &ring[dst * np];
+        for (std::size_t p = 0; p < np; ++p) {
+            std::uint64_t acc = parts[0]->at(r, p);
+            for (std::size_t d = 1; d < parts.size(); ++d) {
+                const std::uint64_t v = parts[d]->at(r, p);
+                switch (probes[p].merge) {
+                  case Merge::Sum:
+                    acc += v;
+                    break;
+                  case Merge::Min:
+                    acc = std::min(acc, v);
+                    break;
+                  case Merge::Max:
+                    acc = std::max(acc, v);
+                    break;
+                }
+            }
+            row[p] = acc;
+        }
+    }
+}
+
+void
+writeMetricsCsv(const MetricsSampler &m, std::ostream &os)
+{
+    const int issued = m.probeIndex("tids_issued");
+    const int nstid = m.probeIndex("nstid_min");
+    os << "epoch,start_tick";
+    for (std::size_t p = 0; p < m.probeCount(); ++p)
+        os << ',' << m.probeName(p);
+    if (issued >= 0 && nstid >= 0)
+        os << ",nstid_lag";
+    os << '\n';
+    const std::uint64_t first = m.firstEpoch();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const std::uint64_t epoch = first + r;
+        os << epoch << ',' << epoch * m.epochLength();
+        for (std::size_t p = 0; p < m.probeCount(); ++p)
+            os << ',' << m.at(r, p);
+        if (issued >= 0 && nstid >= 0) {
+            const std::uint64_t hi = m.at(r, static_cast<std::size_t>(issued));
+            const std::uint64_t lo = m.at(r, static_cast<std::size_t>(nstid));
+            os << ',' << (hi > lo ? hi - lo : 0);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace tcc

@@ -26,6 +26,10 @@ struct NodeFold {
     std::uint64_t mcastEvents = 0;
     /** Outstanding probe send tick per target directory. */
     FlatMap<NodeId, Tick> probeSent;
+    /** Violation causes across all attempts: address -> count.
+     *  Cleared only when the transaction commits (resetTxn), not per
+     *  attempt - retries keep accumulating their causes. */
+    FlatMap<Addr, std::uint32_t> causeCounts;
 
     /** Reset attempt-scoped fields, keeping the retry/violation
      *  history that spans attempts. */
@@ -53,6 +57,7 @@ struct NodeFold {
         probeCount = 0;
         probeRttTotal = 0;
         probeRttMax = 0;
+        causeCounts.clear();
         resetAttempt();
     }
 };
@@ -118,6 +123,7 @@ buildTxLedger(const TraceRecorder &rec)
             f.hasViolation = true;
             f.violationAddr = e.arg0;
             f.violationWriter = e.tid;
+            ++f.causeCounts[e.arg0];
             break;
           case TraceEventKind::TxViolation:
             ++f.retries;
@@ -143,6 +149,11 @@ buildTxLedger(const TraceRecorder &rec)
             entry.firstMarkTick = f.firstMark;
             entry.directoriesTouched = f.dirsTouched;
             entry.multicastEvents = f.mcastEvents;
+            entry.causes.reserve(f.causeCounts.size());
+            for (const auto &kv : f.causeCounts)
+                entry.causes.emplace_back(kv.first, kv.second);
+            // FlatMap iterates in slot order; sort for determinism.
+            std::sort(entry.causes.begin(), entry.causes.end());
             out.push_back(entry);
             f.resetTxn();
             break;

@@ -45,6 +45,11 @@ struct TxLedgerEntry {
     Addr violationAddr = 0;
     /** Cause of the last violation: the committing writer's TID. */
     Tid violationWriter = kInvalidTid;
+    /** Every violation cause this transaction saw across all its
+     *  attempts: (conflicting line address, count), sorted by address
+     *  ascending. violationAddr above is only the *last* cause; a
+     *  transaction retried by several hot words lists them all here. */
+    std::vector<std::pair<Addr, std::uint32_t>> causes;
 
     /** Probe round trips (send -> reply) observed for this commit. */
     std::uint64_t probeCount = 0;

@@ -4,6 +4,7 @@
 
 #include "check/mutate.hh"
 #include "common/log.hh"
+#include "obs/contention.hh"
 
 namespace tcc {
 
@@ -460,6 +461,8 @@ TccProcessor::onTidReply(const Message &msg)
     lastTidAcquired = msg.tid;
     traceEmit(tracer, TraceCat::Commit, TraceEventKind::TidAcquire,
               nodeId, msg.tid);
+    if (contention)
+        contention->recordTidOwner(msg.tid, nodeId);
     if (phase == Phase::Commit && !skipsSent) {
         proceedAfterTid();
         return;
@@ -974,6 +977,20 @@ TccProcessor::onInv(const Message &msg)
                tid == kInvalidTid ? -1LL : (long long)tid,
                static_cast<int>(phase), validated ? 1 : 0,
                keep_sharer ? 1 : 0);
+
+    // Conflict attribution: every overlapping invalidation is a
+    // conflict on this word; only a violating one is an abort, and the
+    // wasted work charged to it is the same quantity violate() is
+    // about to add to violationCycles.
+    if (contention && (out.srOverlap || out.smOverlap)) {
+        const std::uint64_t wasted =
+            violating ? eventq.now() - attemptStart +
+                            config.violationRestartPenalty
+                      : 0;
+        contention->recordConflict(nodeId, msg.tid, msg.addr,
+                                   out.srOverlap, out.smOverlap,
+                                   violating, wasted);
+    }
 
     if (violating) {
         ++procStats.violationAddrs[msg.addr];

@@ -50,6 +50,8 @@
 
 namespace tcc {
 
+class ContentionProfiler; // obs/contention.hh
+
 /** Per-processor protocol/timing knobs. */
 struct ProcessorConfig {
     /** Cycles to restore the register checkpoint after a violation. */
@@ -177,6 +179,11 @@ class TccProcessor
     /** Attach the online protocol-invariant checker (may be null). */
     void setInvariantChecker(InvariantChecker *c) { invariants = c; }
 
+    /** Attach the conflict-attribution profiler (may be null; see
+     *  obs/contention.hh). Pure observation: recording never changes
+     *  protocol behavior. */
+    void setContentionProfiler(ContentionProfiler *p) { contention = p; }
+
   private:
     enum class Phase { Idle, Exec, Commit, Done };
 
@@ -246,6 +253,9 @@ class TccProcessor
     TraceRecorder *tracer = nullptr;
     /** Online invariant checker (owned by the System; may be null). */
     InvariantChecker *invariants = nullptr;
+    /** Conflict profiler (owned by the System or a PDES domain; may be
+     *  null = off). */
+    ContentionProfiler *contention = nullptr;
 
     // --- per-transaction state ---------------------------------------
     Phase phase = Phase::Idle;

@@ -53,6 +53,8 @@
 #include "mem/global_store.hh"
 #include "noc/chaos_network.hh"
 #include "noc/network.hh"
+#include "obs/contention.hh"
+#include "obs/metrics.hh"
 #include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
@@ -266,6 +268,14 @@ struct PdesDomain {
     /** Per-domain invariant checker (nullptr unless armed); finalize
      *  is restricted to this domain's node range. */
     std::unique_ptr<InvariantChecker> checker;
+    /** Per-domain epoch sampler (nullptr unless metricsEpoch != 0);
+     *  sampled by this domain's worker inside its window, merged at
+     *  finalize (obs/metrics.hh). */
+    std::unique_ptr<MetricsSampler> metrics;
+    /** Per-domain conflict profiler (nullptr unless contentionTopK
+     *  != 0); fed by this domain's processors only, merged at finalize
+     *  in (domain, address) order (obs/contention.hh). */
+    std::unique_ptr<ContentionProfiler> contention;
 
     // --- effects deferred to the window barrier ----------------------
     /** write() records since the last barrier. */
