@@ -31,21 +31,20 @@ struct BusResult {
     bool completed = false;
 };
 
-/** Run the bus baseline on the same workload. */
+/** Run the bus baseline on the same workload bundle (the registry
+ *  attaches to either machine - the drop-in interchange the shared
+ *  RunResult surface buys). */
 BusResult
-runBus(const AppProfile &profile, std::uint32_t procs,
+runBus(const std::string &app, std::uint32_t procs,
        std::uint64_t seed)
 {
     BusConfig cfg;
     cfg.numProcs = procs;
     BusTcc bus(cfg);
-    std::vector<std::unique_ptr<SyntheticSource>> sources;
-    for (NodeId p = 0; p < procs; ++p) {
-        sources.push_back(std::make_unique<SyntheticSource>(
-            profile, seed, p, procs));
-        bus.setSource(p, sources.back().get());
-    }
-    auto res = bus.run();
+    const WorkloadBundle bundle =
+        makeWorkload(app, {}, seed, procs);
+    bundle.attach(bus);
+    const RunResult res = bus.run();
     return BusResult{res.cycles, res.completed};
 }
 
@@ -80,7 +79,7 @@ main(int argc, char **argv)
     SweepRunner runner(args.jobs);
     auto cells = sweepIndex<Cell>(
         runner, names.size() * stride, [&](std::size_t i) {
-            const auto &app = appProfile(names[i / stride]);
+            const std::string &app = names[i / stride];
             const std::size_t j = i % stride;
             const std::uint32_t p =
                 j == 0 ? 1u : procList[j - 1];
@@ -88,7 +87,7 @@ main(int argc, char **argv)
             cell.bus = runBus(app, p, 1);
             RunOptions opt;
             opt.procs = p;
-            cell.scal = runApp(app, opt);
+            cell.scal = runWorkload(app, opt);
             return cell;
         });
 

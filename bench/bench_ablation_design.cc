@@ -27,10 +27,9 @@ abSweep(tccbench::SweepRunner &runner,
 {
     return tccbench::sweepIndex<tccbench::RunOutcome>(
         runner, names.size() * variants.size(), [&](std::size_t i) {
-            const auto &app =
-                tcc::appProfile(names[i / variants.size()]);
-            return tccbench::runApp(app,
-                                    variants[i % variants.size()]);
+            return tccbench::runWorkload(
+                names[i / variants.size()],
+                variants[i % variants.size()]);
         });
 }
 
@@ -76,18 +75,19 @@ main(int argc, char **argv)
     std::printf("%-16s %14s %14s %12s %12s\n", "config", "cycles",
                 "violations", "committed", "completed");
     {
-        AppProfile hot = appProfile("cluster_ga");
-        hot.conflictProb = 0.6;
-        hot.hotWords = 8;
-        hot.txnsPerPhase = 256;
-        hot.phases = 2;
+        WorkloadParams hot;
+        hot.set("conflict_prob", "0.6")
+            .set("hot_words", "8")
+            .set("txns_per_phase", "256")
+            .set("phases", "2");
         const std::vector<std::uint32_t> agings = {3u, 0u};
         auto outs = sweepIndex<RunOutcome>(
             runner, agings.size(), [&](std::size_t i) {
                 RunOptions opt;
                 opt.procs = kProcs;
                 opt.agingThreshold = agings[i];
-                return runApp(hot, opt);
+                opt.wl = hot;
+                return runWorkload("cluster_ga", opt);
             });
         for (std::size_t i = 0; i < agings.size(); ++i) {
             const auto &out = outs[i];
@@ -135,8 +135,7 @@ main(int argc, char **argv)
                 RunOptions opt;
                 opt.procs = kProcs;
                 opt.dirCacheEntries = sizes[i % sizes.size()];
-                return runApp(appProfile(names[i / sizes.size()]),
-                              opt);
+                return runWorkload(names[i / sizes.size()], opt);
             });
         for (std::size_t a = 0; a < names.size(); ++a) {
             for (std::size_t s = 0; s < sizes.size(); ++s) {

@@ -20,7 +20,7 @@
 #include "core/sweep.hh"
 #include "core/system.hh"
 #include "obs/metrics.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 namespace tccbench {
 
@@ -48,6 +48,8 @@ struct RunOutcome {
     /** Epochs the metrics sampler closed (0 when not armed via
      *  RunOptions::trace). */
     std::uint64_t metricsEpochs = 0;
+    /** Committed logical data-structure ops (0 for synthetic apps). */
+    std::uint64_t committedOps = 0;
 };
 
 /** Tweaks applied on top of the default Table 2 configuration. */
@@ -70,11 +72,14 @@ struct RunOptions {
     /** Observability (metricsEpoch / contentionTopK arm the epoch
      *  sampler and conflict profiler; default all-off). */
     TraceConfig trace;
+    /** Workload knob overrides (registry key=value pairs, e.g.
+     *  {"txns_per_phase","64"} for smoke clamps). */
+    WorkloadParams wl;
 };
 
-/** Run @p profile once under @p opt and collect the outcome. */
+/** Run registry workload @p name once under @p opt. */
 inline RunOutcome
-runApp(const AppProfile &profile, const RunOptions &opt)
+runWorkload(const std::string &name, const RunOptions &opt)
 {
     SystemConfig cfg;
     cfg.numProcs = opt.procs;
@@ -89,17 +94,19 @@ runApp(const AppProfile &profile, const RunOptions &opt)
     cfg.trace = opt.trace;
 
     System sys(cfg);
-    auto sources = setupApp(sys, profile, opt.seed);
+    const WorkloadBundle bundle =
+        makeWorkload(name, opt.wl, opt.seed, opt.procs);
+    bundle.attach(sys);
     const RunResult res = sys.run();
 
     RunOutcome out;
-    out.app = profile.name;
+    out.app = name;
     out.procs = opt.procs;
     out.cycles = res.cycles;
     out.completed = res.completed;
     out.breakdown = res.breakdown;
-    out.characterization = characterize(sys, profile.name);
-    out.traffic = trafficPerInstr(sys, profile.name);
+    out.characterization = characterize(sys, name);
+    out.traffic = trafficPerInstr(sys, name);
     out.committedTxns = res.committedTxns;
     out.violations = res.violations;
     for (NodeId p = 0; p < sys.numProcs(); ++p)
@@ -112,14 +119,20 @@ runApp(const AppProfile &profile, const RunOptions &opt)
     out.invariants = res.invariants;
     if (const MetricsSampler *m = sys.metricsSampler())
         out.metricsEpochs = m->closed();
+    out.committedOps = bundle.committedOps();
     return out;
 }
 
-/** The paper's application ordering for every figure. */
-inline const std::vector<AppProfile> &
+/** The paper's application ordering for every figure (Table-3
+ *  workload names from the registry). */
+inline std::vector<std::string>
 benchApps()
 {
-    return appProfiles();
+    std::vector<std::string> names;
+    for (const auto &info : workloadInfos())
+        if (info.kind == "table3")
+            names.push_back(info.name);
+    return names;
 }
 
 /**
@@ -181,13 +194,13 @@ parseBenchArgs(int argc, char **argv)
 }
 
 /** The figure's application list after applying --filter. */
-inline std::vector<AppProfile>
+inline std::vector<std::string>
 benchApps(const BenchArgs &args)
 {
-    std::vector<AppProfile> apps;
+    std::vector<std::string> apps;
     for (const auto &app : benchApps()) {
         if (args.filter.empty() ||
-            app.name.find(args.filter) != std::string::npos) {
+            app.find(args.filter) != std::string::npos) {
             apps.push_back(app);
         }
     }

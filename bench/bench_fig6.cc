@@ -28,7 +28,7 @@ main(int argc, char **argv)
         runner, apps.size(), [&](std::size_t i) {
             RunOptions opt;
             opt.procs = procs;
-            return runApp(apps[i], opt);
+            return runWorkload(apps[i], opt);
         });
 
     double worst_commit = 0;

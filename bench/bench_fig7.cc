@@ -47,7 +47,7 @@ main(int argc, char **argv)
         runner, cells.size(), [&](std::size_t i) {
             RunOptions opt;
             opt.procs = cells[i].procs;
-            return runApp(apps[cells[i].app], opt);
+            return runWorkload(apps[cells[i].app], opt);
         });
 
     const std::size_t stride = 1 + procList.size();
@@ -55,7 +55,7 @@ main(int argc, char **argv)
         const auto &uni = outs[a * stride];
         if (!uni.completed) {
             std::printf("%-16s 1-CPU run DID NOT COMPLETE\n",
-                        apps[a].name.c_str());
+                        apps[a].c_str());
             continue;
         }
         const double t1 = static_cast<double>(uni.cycles);
@@ -64,7 +64,7 @@ main(int argc, char **argv)
             const auto &out = outs[a * stride + 1 + j];
             if (!out.completed) {
                 std::printf("%-16s %5u DID NOT COMPLETE\n",
-                            apps[a].name.c_str(), procList[j]);
+                            apps[a].c_str(), procList[j]);
                 continue;
             }
             const double tp = static_cast<double>(out.cycles);
@@ -75,7 +75,7 @@ main(int argc, char **argv)
             const auto &bd = out.breakdown;
             std::printf("%-16s %5u %8.1fx %8.1f%% | %6.1f%% %6.1f%% "
                         "%6.1f%% %6.1f%% %8.1f%%\n",
-                        apps[a].name.c_str(), out.procs, speedup,
+                        apps[a].c_str(), out.procs, speedup,
                         height, height * bd.fraction(bd.useful),
                         height * bd.fraction(bd.miss),
                         height * bd.fraction(bd.idle),

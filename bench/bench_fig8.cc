@@ -35,7 +35,7 @@ main(int argc, char **argv)
             RunOptions opt;
             opt.procs = procs;
             opt.hopLatency = hops[i % hops.size()];
-            return runApp(apps[i / hops.size()], opt);
+            return runWorkload(apps[i / hops.size()], opt);
         });
 
     for (std::size_t a = 0; a < apps.size(); ++a) {
@@ -45,7 +45,7 @@ main(int argc, char **argv)
             const auto &out = outs[a * hops.size() + h];
             if (!out.completed) {
                 std::printf("%-16s %10llu DID NOT COMPLETE\n",
-                            apps[a].name.c_str(),
+                            apps[a].c_str(),
                             (unsigned long long)hop);
                 continue;
             }
@@ -56,7 +56,7 @@ main(int argc, char **argv)
             const auto &bd = out.breakdown;
             std::printf("%-16s %10llu %10.1f%% | %6.1f%% %6.1f%% "
                         "%6.1f%% %6.1f%% %8.1f%%\n",
-                        apps[a].name.c_str(), (unsigned long long)hop,
+                        apps[a].c_str(), (unsigned long long)hop,
                         height, height * bd.fraction(bd.useful),
                         height * bd.fraction(bd.miss),
                         height * bd.fraction(bd.idle),

@@ -41,7 +41,7 @@
 #include "sim/pool.hh"
 #include "sim/random.hh"
 #include "workload/scripted_source.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 // Configure-time git revision (set by bench/CMakeLists.txt) so each
 // BENCH_*.json records what code produced it.
@@ -233,10 +233,12 @@ endToEnd(std::uint32_t txns_per_phase)
     SystemConfig cfg;
     cfg.numProcs = 16;
     System sys(cfg);
-    AppProfile prof = appProfile("water_spatial");
-    prof.txnsPerPhase = txns_per_phase;
-    prof.phases = 2;
-    auto sources = setupApp(sys, prof, 1);
+    WorkloadParams wl;
+    wl.set("txns_per_phase", std::to_string(txns_per_phase));
+    wl.set("phases", "2");
+    const WorkloadBundle bundle =
+        makeWorkload("water_spatial", wl, /*seed=*/1, cfg.numProcs);
+    bundle.attach(sys);
     const auto t0 = std::chrono::steady_clock::now();
     auto res = sys.run();
     const auto t1 = std::chrono::steady_clock::now();

@@ -14,7 +14,7 @@
 #include "noc/network.hh"
 #include "sim/event_queue.hh"
 #include "workload/scripted_source.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 namespace {
 
@@ -76,10 +76,11 @@ BM_EndToEndSimulation(benchmark::State &state)
         SystemConfig cfg;
         cfg.numProcs = 8;
         System sys(cfg);
-        AppProfile prof = appProfile("water_spatial");
-        prof.txnsPerPhase = 64;
-        prof.phases = 1;
-        auto sources = setupApp(sys, prof, 1);
+        WorkloadParams wl;
+        wl.set("txns_per_phase", "64").set("phases", "1");
+        const WorkloadBundle bundle =
+            makeWorkload("water_spatial", wl, /*seed=*/1, cfg.numProcs);
+        bundle.attach(sys);
         auto res = sys.run();
         benchmark::DoNotOptimize(res.cycles);
         state.counters["sim_cycles"] =

@@ -48,7 +48,7 @@
 #include <vector>
 
 #include "core/system.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 // Configure-time git revision (set by bench/CMakeLists.txt) so each
 // BENCH_*.json records what code produced it.
@@ -160,13 +160,12 @@ runPoint(const std::string &app, std::uint32_t procs,
     cfg.pdes.jobs = jobs;
     cfg.pdes.sync = sync;
     System sys(cfg);
-    AppProfile prof = appProfile(app);
-    if (smoke) {
-        prof.phases = 1;
-        prof.txnsPerPhase =
-            std::min<std::uint32_t>(prof.txnsPerPhase, 64);
-    }
-    auto sources = setupApp(sys, prof, /*seed=*/1);
+    WorkloadParams wl;
+    if (smoke)
+        wl.set("phases", "1").set("max_txns_per_phase", "64");
+    const WorkloadBundle bundle =
+        makeWorkload(app, wl, /*seed=*/1, procs);
+    bundle.attach(sys);
     const auto t0 = std::chrono::steady_clock::now();
     RunResult res = sys.run();
     const auto t1 = std::chrono::steady_clock::now();

@@ -45,7 +45,7 @@
 #include "core/system.hh"
 #include "obs/tx_ledger.hh"
 #include "sim/stats.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 #ifndef TCC_GIT_REV
 #define TCC_GIT_REV "unknown"
@@ -107,7 +107,6 @@ runPoint(std::uint32_t procs, const Topo &topo, bool smoke, Point *out)
         std::max(std::size_t{1} << 18, std::size_t{procs} * 8192);
 
     System sys(cfg);
-    AppProfile prof = appProfile("barnes");
     // Pin every plain store to a single writer (each proc's own shared
     // slice; hot-word RMWs stay commutative increments). The final
     // memory image is then a pure function of the committed
@@ -115,13 +114,13 @@ runPoint(std::uint32_t procs, const Topo &topo, bool smoke, Point *out)
     // what makes the flat-vs-tree fingerprint gate sound: the tree may
     // reorder commits (timing feeds back into TID acquisition), but a
     // lost, duplicated, or corrupted delivery changes the image.
-    prof.writeSpreadDirs = 1;
-    if (smoke) {
-        prof.phases = 1;
-        prof.txnsPerPhase =
-            std::min<std::uint32_t>(prof.txnsPerPhase, 64);
-    }
-    auto sources = setupApp(sys, prof, /*seed=*/1);
+    WorkloadParams wl;
+    wl.set("write_spread_dirs", "1");
+    if (smoke)
+        wl.set("phases", "1").set("max_txns_per_phase", "64");
+    const WorkloadBundle bundle =
+        makeWorkload("barnes", wl, /*seed=*/1, procs);
+    bundle.attach(sys);
 
     const auto t0 = std::chrono::steady_clock::now();
     RunResult res = sys.run();

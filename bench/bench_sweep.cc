@@ -119,7 +119,7 @@ runGrid(const std::vector<GridCell> &grid, unsigned jobs)
         runner, grid.size(), [&](std::size_t i) {
             RunOptions opt;
             opt.procs = grid[i].procs;
-            return runApp(appProfile(grid[i].app), opt);
+            return runWorkload(grid[i].app, opt);
         });
 }
 
@@ -136,10 +136,12 @@ flatMapEventsPerSec(std::uint32_t txns_per_phase)
     SystemConfig cfg;
     cfg.numProcs = 16;
     System sys(cfg);
-    AppProfile prof = appProfile("water_spatial");
-    prof.txnsPerPhase = txns_per_phase;
-    prof.phases = 2;
-    auto sources = setupApp(sys, prof, 1);
+    WorkloadParams wl;
+    wl.set("txns_per_phase", std::to_string(txns_per_phase));
+    wl.set("phases", "2");
+    const WorkloadBundle bundle =
+        makeWorkload("water_spatial", wl, /*seed=*/1, cfg.numProcs);
+    bundle.attach(sys);
     const auto t0 = std::chrono::steady_clock::now();
     auto res = sys.run();
     const auto t1 = std::chrono::steady_clock::now();
@@ -173,13 +175,10 @@ chaosConfigsPassed(bool smoke, unsigned jobs, std::size_t *total)
             opt.network.chaos.seed = 0xC7A05 + i;
             opt.check.serial = true;
             opt.check.invariants = true;
-            AppProfile prof = appProfile("radix");
-            if (smoke) {
-                prof.phases = 1;
-                prof.txnsPerPhase =
-                    std::min<std::uint32_t>(prof.txnsPerPhase, 64);
-            }
-            return runApp(prof, opt);
+            if (smoke)
+                opt.wl.set("phases", "1")
+                    .set("max_txns_per_phase", "64");
+            return runWorkload("radix", opt);
         });
     std::size_t passed = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -270,7 +269,7 @@ main(int argc, char **argv)
             break;
         ++nApps;
         for (std::uint32_t p : {8u, 16u})
-            grid.push_back(GridCell{app.name, p});
+            grid.push_back(GridCell{app, p});
     }
 
     std::printf("== sweep-engine throughput (%zu runs) ==\n",
@@ -338,8 +337,7 @@ main(int argc, char **argv)
     armedOpt.procs = grid[0].procs;
     armedOpt.trace.metricsEpoch = 500;
     armedOpt.trace.contentionTopK = 16;
-    const RunOutcome armed =
-        runApp(appProfile(grid[0].app), armedOpt);
+    const RunOutcome armed = runWorkload(grid[0].app, armedOpt);
     if (!(fingerprint(armed) == fingerprint(serial[0]))) {
         std::fprintf(stderr,
                      "MISMATCH at %s/%u: run with metrics sampler "

@@ -29,7 +29,7 @@ main(int argc, char **argv)
         runner, apps.size(), [&](std::size_t i) {
             RunOptions opt;
             opt.procs = procs;
-            return runApp(apps[i], opt);
+            return runWorkload(apps[i], opt);
         });
 
     for (const auto &out : outs) {

@@ -66,15 +66,12 @@ runCell(const ChaosCell &c)
     opt.network.chaos.seed = c.seed * 0x9E3779B97F4A7C15ull + 1;
     opt.check.serial = true;
     opt.check.invariants = true;
-    AppProfile prof = appProfile(c.app);
     if (gSmoke) {
         // Sanitizer builds run this fixture too: keep each point to a
         // few hundred transactions while touching every fault path.
-        prof.phases = 1;
-        prof.txnsPerPhase = std::min<std::uint32_t>(
-            prof.txnsPerPhase, 64);
+        opt.wl.set("phases", "1").set("max_txns_per_phase", "64");
     }
-    return runApp(prof, opt);
+    return runWorkload(c.app, opt);
 }
 
 struct Fingerprint {

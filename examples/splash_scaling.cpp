@@ -6,7 +6,8 @@
  * as the template for your own scaling experiments.
  *
  * Usage: splash_scaling [app] [max_procs]
- *   app        one of the Table 3 application names (default barnes)
+ *   app        any registry workload name - Table-3 apps or ds_*
+ *              data-structure workloads (default barnes)
  *   max_procs  largest power-of-two processor count (default 32)
  */
 
@@ -16,7 +17,7 @@
 
 #include "core/report.hh"
 #include "core/system.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 using namespace tcc;
 
@@ -27,11 +28,21 @@ main(int argc, char **argv)
     const std::uint32_t max_procs =
         argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
 
-    const AppProfile &app = appProfile(app_name);
-    std::printf("application: %s (median txn %0.f instr, ~%u words "
-                "read, ~%u written)\n",
-                app.name.c_str(), app.instrMedian, app.readWords,
-                app.writeWords);
+    if (!isWorkload(app_name)) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     app_name.c_str());
+        return 1;
+    }
+    {
+        const WorkloadBundle probe =
+            makeWorkload(app_name, {}, /*seed=*/1, 1);
+        std::printf("workload: %s (%llu expected txns, %llu data "
+                    "words, %zu regions)\n",
+                    app_name.c_str(),
+                    (unsigned long long)probe.footprint.expectedTxns,
+                    (unsigned long long)probe.footprint.dataWords,
+                    probe.footprint.regions.size());
+    }
 
     double t1 = 0;
     std::printf("%5s %12s %9s | %s\n", "cpus", "cycles", "speedup",
@@ -40,7 +51,9 @@ main(int argc, char **argv)
         SystemConfig cfg;
         cfg.numProcs = p;
         System sys(cfg);
-        auto sources = setupApp(sys, app, /*seed=*/1);
+        const WorkloadBundle bundle =
+            makeWorkload(app_name, {}, /*seed=*/1, p);
+        bundle.attach(sys);
         const RunResult res = sys.run();
         if (!res.completed) {
             std::printf("%5u DID NOT COMPLETE\n", p);
@@ -51,7 +64,7 @@ main(int argc, char **argv)
         std::printf("%5u %12llu %8.1fx | %s\n", p,
                     (unsigned long long)res.cycles,
                     t1 / static_cast<double>(res.cycles),
-                    breakdownRow(app.name, res.breakdown).c_str());
+                    breakdownRow(app_name, res.breakdown).c_str());
     }
 
     std::puts("\nTable 3-style characterization at the largest size:");
@@ -59,13 +72,15 @@ main(int argc, char **argv)
         SystemConfig cfg;
         cfg.numProcs = max_procs;
         System sys(cfg);
-        auto sources = setupApp(sys, app, 1);
+        const WorkloadBundle bundle =
+            makeWorkload(app_name, {}, /*seed=*/1, max_procs);
+        bundle.attach(sys);
         sys.run();
         std::puts(table3Header().c_str());
-        std::puts(table3Row(characterize(sys, app.name)).c_str());
+        std::puts(table3Row(characterize(sys, app_name)).c_str());
         std::puts(trafficHeader().c_str());
         std::puts(
-            trafficRowText(trafficPerInstr(sys, app.name)).c_str());
+            trafficRowText(trafficPerInstr(sys, app_name)).c_str());
     }
     return 0;
 }

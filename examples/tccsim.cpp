@@ -7,8 +7,11 @@
  *
  * Usage:
  *   tccsim [options]              (--flag=V and --flag V both work)
- *     --app NAME        application profile (default barnes; "list"
- *                       prints the available names)
+ *     --app NAME        workload name from the registry: Table-3 apps
+ *                       and ds_* data-structure workloads (default
+ *                       barnes; "list" prints the available names)
+ *     --wl K=V[,K=V...] workload knob overrides (repeatable), e.g.
+ *                       --wl theta=0.99,mix=write_heavy
  *     --procs N         processors/nodes (default 16)
  *     --network M       mesh | ideal | chaos:<preset>  (default mesh;
  *                       "chaos:list" prints the preset names)
@@ -68,7 +71,7 @@
 #include "obs/chrome_trace.hh"
 #include "obs/contention.hh"
 #include "obs/metrics.hh"
-#include "workload/synthetic_app.hh"
+#include "workload/registry.hh"
 
 using namespace tcc;
 
@@ -78,7 +81,7 @@ namespace {
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--app NAME] [--procs N] "
+                 "usage: %s [--app NAME] [--wl K=V,...] [--procs N] "
                  "[--network mesh|ideal|chaos:<preset>] "
                  "[--chaos PRESET] [--multicast flat|tree:kN] "
                  "[--hop N] [--line-gran] "
@@ -174,6 +177,7 @@ int
 main(int argc, char **argv)
 {
     std::string app_name = "barnes";
+    WorkloadParams wl;
     std::string stats_path;
     std::string stats_json_path;
     std::string trace_out_path;
@@ -204,6 +208,9 @@ main(int argc, char **argv)
         };
         if (arg == "--app") {
             app_name = next();
+        } else if (arg == "--wl") {
+            for (auto &kv : WorkloadParams::parse(next()).overrides)
+                wl.overrides.push_back(std::move(kv));
         } else if (arg == "--procs") {
             cfg.numProcs =
                 static_cast<std::uint32_t>(std::atoi(next().c_str()));
@@ -300,12 +307,12 @@ main(int argc, char **argv)
     }
 
     if (app_name == "list") {
-        for (const auto &a : appProfiles())
-            std::puts(a.name.c_str());
+        for (const auto &info : workloadInfos())
+            std::printf("%-16s %-10s %s\n", info.name.c_str(),
+                        info.kind.c_str(), info.description.c_str());
         return 0;
     }
 
-    const AppProfile &app = appProfile(app_name);
     std::string net_desc;
     switch (cfg.network.model) {
       case NetworkConfig::Model::Mesh:
@@ -327,7 +334,7 @@ main(int argc, char **argv)
                     " multicast";
     }
     std::printf("tccsim: %s on %u processors (hop=%llu, %s, %s, %s)\n",
-                app.name.c_str(), cfg.numProcs,
+                app_name.c_str(), cfg.numProcs,
                 (unsigned long long)cfg.network.mesh.hopLatency,
                 cfg.cache.granularity == Granularity::Word
                     ? "word-granularity"
@@ -338,7 +345,13 @@ main(int argc, char **argv)
                 net_desc.c_str());
 
     System sys(cfg);
-    auto sources = setupApp(sys, app, seed);
+    const WorkloadBundle bundle =
+        makeWorkload(app_name, wl, seed, cfg.numProcs);
+    bundle.attach(sys);
+    std::printf("workload: %zu regions, %llu expected txns%s\n",
+                bundle.footprint.regions.size(),
+                (unsigned long long)bundle.footprint.expectedTxns,
+                bundle.layout() ? " (data-structure engine)" : "");
     const RunResult res = sys.run();
     if (res.invariants.checked && !res.invariants.ok) {
         std::printf("INVARIANT VIOLATION\n%s\n",
@@ -378,15 +391,15 @@ main(int argc, char **argv)
 
     std::puts("\n-- execution time breakdown --");
     std::puts(breakdownHeader().c_str());
-    std::puts(breakdownRow(app.name, res.breakdown).c_str());
+    std::puts(breakdownRow(app_name, res.breakdown).c_str());
 
     std::puts("\n-- transaction characteristics (Table 3 style) --");
     std::puts(table3Header().c_str());
-    std::puts(table3Row(characterize(sys, app.name)).c_str());
+    std::puts(table3Row(characterize(sys, app_name)).c_str());
 
     std::puts("\n-- network traffic (Figure 9 style) --");
     std::puts(trafficHeader().c_str());
-    std::puts(trafficRowText(trafficPerInstr(sys, app.name)).c_str());
+    std::puts(trafficRowText(trafficPerInstr(sys, app_name)).c_str());
 
     std::printf("\ncommits=%llu violations=%llu overflows=%llu "
                 "quiesced=%s\n",
@@ -394,6 +407,30 @@ main(int argc, char **argv)
                 (unsigned long long)res.violations,
                 (unsigned long long)res.overflows,
                 res.quiesced ? "yes" : "NO");
+    if (bundle.layout() != nullptr) {
+        const double goodput =
+            res.cycles == 0
+                ? 0.0
+                : static_cast<double>(bundle.committedOps()) /
+                      static_cast<double>(res.cycles);
+        std::printf("goodput=%.4f committed ops/cycle "
+                    "(%llu logical ops)\n",
+                    goodput,
+                    (unsigned long long)bundle.committedOps());
+        const auto tallies = bundle.phaseTallies();
+        for (std::size_t i = 0; i < tallies.size(); ++i) {
+            const double rate =
+                tallies[i].commits + tallies[i].aborts == 0
+                    ? 0.0
+                    : static_cast<double>(tallies[i].aborts) /
+                          static_cast<double>(tallies[i].commits +
+                                              tallies[i].aborts);
+            std::printf("phase %zu: commits=%llu aborts=%llu "
+                        "abort_rate=%.3f\n",
+                        i, (unsigned long long)tallies[i].commits,
+                        (unsigned long long)tallies[i].aborts, rate);
+        }
+    }
 
     if (const auto *chaos =
             dynamic_cast<const ChaosNetwork *>(&sys.network())) {

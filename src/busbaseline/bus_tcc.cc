@@ -255,6 +255,7 @@ BusTcc::doCommit(Proc &p)
     p.stats.usefulCycles += p.attemptUseful;
     p.stats.missCycles += p.attemptMiss;
     p.stats.commitCycles += eventq.now() - p.commitStart;
+    p.stats.committedInstructions += p.attemptInstr;
     ++p.stats.txnsCommitted;
     if (p.source)
         p.source->transactionCommitted();
@@ -294,7 +295,7 @@ BusTcc::violate(Proc &p)
                     });
 }
 
-BusTcc::RunResult
+RunResult
 BusTcc::run(Tick max_ticks)
 {
     for (auto &p : procs) {
@@ -302,8 +303,10 @@ BusTcc::run(Tick max_ticks)
         eventq.schedule(0, [this, pp]() { startNext(*pp); });
     }
     RunResult res;
-    while (!eventq.empty() && eventq.now() <= max_ticks)
+    while (!eventq.empty() && eventq.now() <= max_ticks) {
         eventq.step();
+        ++res.events;
+    }
 
     bool all_done = true;
     Tick end = 0;
@@ -318,11 +321,31 @@ BusTcc::run(Tick max_ticks)
     if (all_done)
         for (auto &p : procs)
             p->stats.idleCycles += end - p->doneAt;
+
+    res.quiesced = all_done && !tokenHeld && tokenQueue.empty();
+    res.breakdown = computeBreakdown();
+    for (const auto &p : procs) {
+        ProcRunStats ps;
+        ps.txnsCommitted = p->stats.txnsCommitted;
+        ps.violations = p->stats.violations;
+        ps.committedInstructions = p->stats.committedInstructions;
+        res.procs.push_back(ps);
+        res.committedTxns += ps.txnsCommitted;
+        res.violations += ps.violations;
+        res.committedInstructions += ps.committedInstructions;
+    }
+    if (config.enableChecker) {
+        res.serial.checked = true;
+        const auto verdict = serialChecker.verify();
+        res.serial.ok = verdict.ok;
+        res.serial.error = verdict.error;
+        res.serial.checks = verdict.txnsChecked;
+    }
     return res;
 }
 
 Breakdown
-BusTcc::breakdown() const
+BusTcc::computeBreakdown() const
 {
     Breakdown bd;
     for (const auto &p : procs) {

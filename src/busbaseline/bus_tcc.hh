@@ -62,16 +62,19 @@ class BusTcc
     void setSource(NodeId proc, TransactionSource *src);
     void initializeWord(Addr addr, std::uint64_t value);
 
-    struct RunResult {
-        Tick cycles = 0;
-        bool completed = false;
-    };
-
+    /**
+     * Run to completion (or @p max_ticks). The result is the same
+     * tcc::RunResult System::run() returns, so the bus baseline and
+     * the scalable system are drop-in interchangeable in bench code;
+     * fields with no bus equivalent (dirs, pdes, overflows,
+     * invariants) stay at their defaults.
+     */
     RunResult run(Tick max_ticks = kTickMax);
 
-    Breakdown breakdown() const;
     GlobalStore &memory() { return store; }
-    const SerialChecker &checker() const { return serialChecker; }
+    /** The serializability checker's commit log (structural access;
+     *  the verdict is in RunResult::serial). */
+    const SerialChecker &commitLog() const { return serialChecker; }
 
     struct ProcStats {
         std::uint64_t usefulCycles = 0;
@@ -81,6 +84,7 @@ class BusTcc
         std::uint64_t violationCycles = 0;
         std::uint64_t txnsCommitted = 0;
         std::uint64_t violations = 0;
+        std::uint64_t committedInstructions = 0;
     };
 
     const ProcStats &procStats(NodeId p) const
@@ -120,6 +124,9 @@ class BusTcc
     /** Reserve the bus for @p bytes; returns the latency from now
      *  until the transfer completes (queueing + transfer). */
     Tick busTransfer(std::uint64_t bytes);
+
+    /** Sum of per-processor execution-time buckets. */
+    Breakdown computeBreakdown() const;
 
     void startNext(Proc &p);
     void beginAttempt(Proc &p);

@@ -376,16 +376,6 @@ class System
      *  RunResult::breakdown after run(). */
     Breakdown computeBreakdown() const;
 
-    /** @deprecated Use RunResult::breakdown (or computeBreakdown()). */
-    [[deprecated("use RunResult::breakdown from System::run()")]]
-    Breakdown breakdown() const { return computeBreakdown(); }
-
-    /** @deprecated Use RunResult::serial for the verdict, or
-     *  commitLog() for structural access. */
-    [[deprecated("use RunResult::serial from System::run(), or "
-                 "commitLog() for the raw log")]]
-    const SerialChecker &checker() const { return serialChecker; }
-
     /** Total committed instructions (Figure 9 normalization). */
     std::uint64_t committedInstructions() const;
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Seeded key-distribution generators for the data-structure workload
+ * engine (workload/datastruct.hh).
+ *
+ * KeyDist draws key *ranks* in [0, n): rank 0 is the hottest key,
+ * rank 1 the next, and so on. Two families:
+ *
+ *   theta == 0   uniform over [0, n)
+ *   theta  > 0   Zipfian with exponent theta, P(rank r) proportional
+ *                to 1 / (r+1)^theta
+ *
+ * Zipfian sampling uses Gray's inversion method ("Quickly Generating
+ * Billion-Record Synthetic Databases", SIGMOD'94; the same scheme YCSB
+ * ships): the harmonic normalizer zeta(n, theta) is computed once in
+ * O(n) at construction, after which each draw is O(1) and consumes
+ * exactly one value from the caller's Rng - so streams are
+ * deterministic per seed, and two generators with equal (n, theta)
+ * fed equal Rngs produce identical rank sequences.
+ */
+
+#ifndef TCC_WORKLOAD_KEYDIST_HH
+#define TCC_WORKLOAD_KEYDIST_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/log.hh"
+#include "sim/random.hh"
+
+namespace tcc {
+
+/** Rank generator: uniform (theta == 0) or Zipfian (theta > 0). */
+class KeyDist
+{
+  public:
+    KeyDist() = default;
+
+    KeyDist(std::uint32_t n, double theta) : n_(n), theta_(theta)
+    {
+        if (n == 0)
+            fatal("KeyDist: key-space size must be nonzero");
+        if (theta < 0.0 || theta >= 1.0)
+            fatal("KeyDist: exponent must be in [0, 1), got %f", theta);
+        if (theta_ == 0.0)
+            return;
+        double zetan = 0.0;
+        for (std::uint32_t i = 1; i <= n; ++i)
+            zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+        zetan_ = zetan;
+        const double zeta2 =
+            1.0 + 1.0 / std::pow(2.0, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 -
+                std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+        thr1_ = 1.0 / zetan_;
+        thr2_ = (1.0 + std::pow(0.5, theta_)) / zetan_;
+    }
+
+    /** Draw one rank in [0, n); consumes one Rng value. */
+    std::uint32_t
+    next(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        if (theta_ == 0.0)
+            return static_cast<std::uint32_t>(
+                u * static_cast<double>(n_)) % n_;
+        if (u < thr1_)
+            return 0;
+        if (u < thr2_)
+            return 1;
+        const double r =
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_);
+        auto rank = static_cast<std::uint32_t>(r);
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+    std::uint32_t size() const { return n_; }
+    double theta() const { return theta_; }
+
+    /** Exact probability mass of rank @p r under this distribution. */
+    double
+    mass(std::uint32_t r) const
+    {
+        if (theta_ == 0.0)
+            return 1.0 / static_cast<double>(n_);
+        return 1.0 /
+               (std::pow(static_cast<double>(r + 1), theta_) * zetan_);
+    }
+
+  private:
+    std::uint32_t n_ = 1;
+    double theta_ = 0.0;
+    // Gray's-method constants (theta > 0 only).
+    double zetan_ = 1.0;
+    double alpha_ = 1.0;
+    double eta_ = 0.0;
+    double thr1_ = 1.0; ///< cumulative mass of rank 0
+    double thr2_ = 1.0; ///< cumulative mass of ranks {0, 1}
+};
+
+} // namespace tcc
+
+#endif // TCC_WORKLOAD_KEYDIST_HH

@@ -28,11 +28,13 @@ TEST(BusTcc, SingleProcCommits)
     ScriptedSource src;
     src.add({TxOp::compute(100), TxOp::store(0x1000, 5)});
     bus.setSource(0, &src);
-    auto res = bus.run();
+    const RunResult res = bus.run();
     ASSERT_TRUE(res.completed);
     EXPECT_EQ(bus.memory().read(0x1000), 5u);
     EXPECT_EQ(src.committed(), 1u);
-    EXPECT_TRUE(bus.checker().verify().ok);
+    EXPECT_EQ(res.committedTxns, 1u);
+    EXPECT_TRUE(res.serial.checked);
+    EXPECT_TRUE(res.serial.ok);
 }
 
 TEST(BusTcc, ConflictingIncrementsExact)
@@ -47,9 +49,11 @@ TEST(BusTcc, ConflictingIncrementsExact)
                          TxOp::storeAdd(0x1000, 1)});
         bus.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(bus.run().completed);
+    const RunResult res = bus.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_EQ(bus.memory().read(0x1000), 4u * kIters);
-    EXPECT_TRUE(bus.checker().verify().ok);
+    EXPECT_EQ(res.committedTxns, 4u * kIters);
+    EXPECT_TRUE(res.serial.ok);
 }
 
 TEST(BusTcc, SnoopViolatesOverlappingReader)
@@ -61,10 +65,12 @@ TEST(BusTcc, SnoopViolatesOverlappingReader)
                 TxOp::storeAdd(0x3000, 0)});
     bus.setSource(0, &writer);
     bus.setSource(1, &reader);
-    ASSERT_TRUE(bus.run().completed);
+    const RunResult res = bus.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_GE(reader.violated(), 1u);
+    EXPECT_GE(res.violations, 1u);
     EXPECT_EQ(bus.memory().read(0x3000), 9u);
-    EXPECT_TRUE(bus.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok);
 }
 
 TEST(BusTcc, CommitsAreSerialized)
@@ -83,9 +89,10 @@ TEST(BusTcc, CommitsAreSerialized)
         }
         bus.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(bus.run().completed);
+    const RunResult res = bus.run();
+    ASSERT_TRUE(res.completed);
     EXPECT_GT(bus.busBusyCycles(), 0u);
-    EXPECT_TRUE(bus.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok);
 }
 
 TEST(BusTcc, BarrierPhasesWork)
@@ -113,11 +120,14 @@ TEST(BusTcc, BreakdownBucketsPopulated)
     }
     bus.setSource(0, &a);
     bus.setSource(1, &b);
-    ASSERT_TRUE(bus.run().completed);
-    auto bd = bus.breakdown();
-    EXPECT_GT(bd.useful, 0u);
-    EXPECT_GT(bd.commit, 0u);
-    EXPECT_GT(bd.total(), 0u);
+    const RunResult res = bus.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_GT(res.breakdown.useful, 0u);
+    EXPECT_GT(res.breakdown.commit, 0u);
+    EXPECT_GT(res.breakdown.total(), 0u);
+    EXPECT_GT(res.committedInstructions, 0u);
+    ASSERT_EQ(res.procs.size(), 2u);
+    EXPECT_EQ(res.procs[0].txnsCommitted, 5u);
 }
 
 TEST(BusTcc, ManyProcsStressSerializable)
@@ -134,9 +144,12 @@ TEST(BusTcc, ManyProcsStressSerializable)
         }
         bus.setSource(p, &srcs[p]);
     }
-    ASSERT_TRUE(bus.run().completed);
+    const RunResult res = bus.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_TRUE(res.quiesced);
     EXPECT_EQ(bus.memory().read(0xA000), kProcs * 20u);
-    EXPECT_TRUE(bus.checker().verify().ok);
+    EXPECT_TRUE(res.serial.ok);
+    EXPECT_EQ(res.serial.checks, res.committedTxns);
 }
 
 } // namespace

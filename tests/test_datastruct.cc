@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the data-structure workload engine: Zipfian generator
+ * statistics, source determinism, exact phase-barrier boundaries,
+ * flash-crowd redirection, and end-to-end runs (bank conservation,
+ * flash abort-rate flip) through the full protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/system.hh"
+#include "workload/datastruct.hh"
+#include "workload/keydist.hh"
+#include "workload/registry.hh"
+
+namespace tcc {
+namespace {
+
+TEST(KeyDist, DeterministicPerSeed)
+{
+    const KeyDist d(1024, 0.8);
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(d.next(a), d.next(b));
+}
+
+TEST(KeyDist, DifferentSeedsDiffer)
+{
+    const KeyDist d(1024, 0.8);
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 100 && !differed; ++i)
+        differed = d.next(a) != d.next(b);
+    EXPECT_TRUE(differed);
+}
+
+TEST(KeyDist, UniformCoversRangeEvenly)
+{
+    const std::uint32_t n = 64;
+    const KeyDist d(n, 0.0);
+    Rng rng(7);
+    std::vector<std::uint64_t> counts(n, 0);
+    const std::uint64_t draws = 64000;
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint32_t r = d.next(rng);
+        ASSERT_LT(r, n);
+        ++counts[r];
+    }
+    const double expect = double(draws) / n;
+    for (std::uint32_t r = 0; r < n; ++r) {
+        EXPECT_GT(counts[r], expect * 0.7) << "rank " << r;
+        EXPECT_LT(counts[r], expect * 1.3) << "rank " << r;
+    }
+}
+
+TEST(KeyDist, MassSumsToOne)
+{
+    const std::uint32_t n = 512;
+    const KeyDist d(n, 0.99);
+    double sum = 0.0;
+    for (std::uint32_t r = 0; r < n; ++r)
+        sum += d.mass(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KeyDist, EmpiricalTopRankMassMatchesAnalytic)
+{
+    const std::uint32_t n = 1024;
+    const KeyDist d(n, 0.99);
+    Rng rng(11);
+    const std::uint64_t draws = 200000;
+    std::uint64_t top = 0;
+    for (std::uint64_t i = 0; i < draws; ++i)
+        if (d.next(rng) == 0)
+            ++top;
+    const double emp = double(top) / double(draws);
+    const double ana = d.mass(0);
+    // Zipf(0.99) over 1024 keys puts ~13% of draws on rank 0; the
+    // empirical estimate over 200k draws sits well within 10%.
+    EXPECT_NEAR(emp, ana, ana * 0.10);
+}
+
+TEST(KeyDist, SkewRatioFollowsTheta)
+{
+    const std::uint32_t n = 1024;
+    const double theta = 0.8;
+    const KeyDist d(n, theta);
+    Rng rng(5);
+    std::uint64_t c0 = 0, c9 = 0;
+    for (std::uint64_t i = 0; i < 400000; ++i) {
+        const std::uint32_t r = d.next(rng);
+        if (r == 0)
+            ++c0;
+        else if (r == 9)
+            ++c9;
+    }
+    // mass(0)/mass(9) = 10^theta.
+    const double want = std::pow(10.0, theta);
+    const double got = double(c0) / double(c9);
+    EXPECT_NEAR(got, want, want * 0.25);
+}
+
+TEST(KeyDist, CountsDecreaseWithRank)
+{
+    const std::uint32_t n = 256;
+    const KeyDist d(n, 0.9);
+    Rng rng(3);
+    std::vector<std::uint64_t> counts(n, 0);
+    for (std::uint64_t i = 0; i < 200000; ++i)
+        ++counts[d.next(rng)];
+    EXPECT_GT(counts[0], counts[4]);
+    EXPECT_GT(counts[4], counts[32]);
+    EXPECT_GT(counts[32], counts[200]);
+}
+
+DataStructParams
+twoPhaseParams()
+{
+    DataStructParams prm;
+    prm.structure = DsStructure::Map;
+    prm.numKeys = 128;
+    prm.opsPerTxn = 2;
+    prm.phases.clear();
+    prm.phases.push_back(DsPhase{8, 0.0, dsMixPreset("read_mostly"),
+                                 -1, 0.0});
+    prm.phases.push_back(DsPhase{8, 0.5, dsMixPreset("write_heavy"),
+                                 -1, 0.0});
+    return prm;
+}
+
+TEST(DataStructSource, DeterministicPerSeed)
+{
+    const DataStructParams prm = twoPhaseParams();
+    auto lay = std::make_shared<const DsLayout>(prm, 9);
+    DataStructSource a(prm, lay, 9, 0, 4);
+    DataStructSource b(prm, lay, 9, 0, 4);
+    for (int i = 0; i < 4; ++i) {
+        auto ta = a.nextTransaction();
+        auto tb = b.nextTransaction();
+        ASSERT_TRUE(ta.has_value());
+        ASSERT_TRUE(tb.has_value());
+        EXPECT_EQ(ta->barrierBefore, tb->barrierBefore);
+        ASSERT_EQ(ta->ops.size(), tb->ops.size());
+        for (std::size_t k = 0; k < ta->ops.size(); ++k) {
+            EXPECT_EQ(ta->ops[k].addr, tb->ops[k].addr);
+            EXPECT_EQ((int)ta->ops[k].kind, (int)tb->ops[k].kind);
+        }
+    }
+}
+
+TEST(DataStructSource, BarrierExactlyAtPhaseBoundary)
+{
+    const DataStructParams prm = twoPhaseParams();
+    auto lay = std::make_shared<const DsLayout>(prm, 1);
+    // 8 txns per phase over 4 procs -> 2 per proc per phase; the
+    // barrier must precede exactly the first transaction of phase 1
+    // (transaction index 2) and nothing else.
+    DataStructSource src(prm, lay, 1, 2, 4);
+    int idx = 0;
+    while (auto txn = src.nextTransaction()) {
+        EXPECT_EQ(txn->barrierBefore, idx == 2) << "txn " << idx;
+        ++idx;
+    }
+    EXPECT_EQ(idx, 4);
+    EXPECT_FALSE(src.nextTransaction().has_value());
+}
+
+TEST(DataStructSource, FlashRedirectsEveryDraw)
+{
+    DataStructParams prm;
+    prm.structure = DsStructure::Map;
+    prm.numKeys = 256;
+    prm.opsPerTxn = 4;
+    prm.scanLen = 2;
+    prm.phases.clear();
+    // update_only: every op touches exactly the drawn key, and
+    // flashFrac=1 redirects every draw to key 17.
+    prm.phases.push_back(
+        DsPhase{8, 0.5, dsMixPreset("update_only"), 17, 1.0});
+    auto lay = std::make_shared<const DsLayout>(prm, 4);
+    DataStructSource src(prm, lay, 4, 0, 4);
+    int memOps = 0;
+    while (auto txn = src.nextTransaction()) {
+        for (const TxOp &op : txn->ops) {
+            if (op.kind == TxOp::Kind::Compute)
+                continue;
+            EXPECT_EQ(lay->keyOf(op.addr), 17);
+            ++memOps;
+        }
+    }
+    EXPECT_GT(memOps, 0);
+}
+
+TEST(DataStructEndToEnd, BankConservesTotalBalance)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 4;
+    cfg.check.invariants = true;
+    System sys(cfg);
+    WorkloadParams wl;
+    wl.set("max_txns_per_phase", "64");
+    const WorkloadBundle bundle = makeWorkload("ds_bank", wl, 3, 4);
+    bundle.attach(sys);
+
+    std::uint64_t expected = 0;
+    for (const auto &[addr, value] : bundle.initialWords)
+        if (bundle.keyOf(addr) >= 0)
+            expected += value;
+
+    const RunResult res = sys.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(res.quiesced);
+    EXPECT_TRUE(res.invariants.ok) << res.invariants.error;
+    EXPECT_GT(res.committedTxns, 0u);
+
+    std::uint64_t actual = 0;
+    for (const auto &[addr, value] : bundle.initialWords)
+        if (bundle.keyOf(addr) >= 0)
+            actual += sys.memory().read(addr);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(DataStructEndToEnd, FlashCrowdRaisesAbortRate)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 8;
+    System sys(cfg);
+    WorkloadParams wl;
+    wl.set("max_txns_per_phase", "256");
+    const WorkloadBundle bundle = makeWorkload("ds_flash", wl, 1, 8);
+    bundle.attach(sys);
+
+    const RunResult res = sys.run();
+    ASSERT_TRUE(res.completed);
+    const auto tallies = bundle.phaseTallies();
+    ASSERT_EQ(tallies.size(), 2u);
+    const auto rate = [](const PhaseTally &t) {
+        const std::uint64_t n = t.commits + t.aborts;
+        return n ? double(t.aborts) / double(n) : 0.0;
+    };
+    EXPECT_GT(rate(tallies[1]), rate(tallies[0]));
+}
+
+TEST(DataStructEndToEnd, QueueCompletesAndCountsOps)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 4;
+    System sys(cfg);
+    WorkloadParams wl;
+    wl.set("max_txns_per_phase", "64");
+    const WorkloadBundle bundle = makeWorkload("ds_queue", wl, 2, 4);
+    bundle.attach(sys);
+
+    const RunResult res = sys.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_GT(bundle.committedOps(), 0u);
+}
+
+} // namespace
+} // namespace tcc
